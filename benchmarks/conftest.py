@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs the corresponding experiment harness once under
+pytest-benchmark (real wall time is what the benchmark records; the
+scientific results are *virtual-time* measurements), prints the
+paper-vs-measured report, and archives it under ``benchmarks/out/`` —
+EXPERIMENTS.md is assembled from those files.
+
+Set ``REPRO_BENCH_FULL=1`` to run every experiment at full paper scale
+(more threads / repetitions / longer windows); the default sizes keep
+the whole suite around a few minutes while preserving every reported
+shape.
+"""
+
+import os
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def archive(name: str, report: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(report + "\n")
+    print("\n" + report)

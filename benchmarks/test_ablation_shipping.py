@@ -1,0 +1,27 @@
+"""Ablation: method shipping vs data shipping (Section 4.2)."""
+
+from conftest import archive, full_scale
+from repro.harness import ablation_shipping
+
+
+def test_ablation_method_shipping(benchmark):
+    counts = (8, 20, 40, 80) if full_scale() else (8, 20, 40)
+    result = benchmark.pedantic(
+        ablation_shipping.run, kwargs={"worker_counts": counts},
+        rounds=1, iterations=1)
+    report = ablation_shipping.report(result)
+    archive("ablation_shipping", report)
+
+    m = result.measurements
+    big = counts[-1]
+    small = counts[0]
+    # O(N) vs O(N^2): message growth is linear vs quadratic.
+    method_growth = (m[("method-shipping", big)][1]
+                     / m[("method-shipping", small)][1])
+    data_growth = (m[("data-shipping", big)][1]
+                   / m[("data-shipping", small)][1])
+    scale = big / small
+    assert method_growth < 2.0 * scale
+    assert data_growth > 0.5 * scale ** 2
+    # At the largest N, data shipping is slower in wall time too.
+    assert m[("data-shipping", big)][0] > m[("method-shipping", big)][0]

@@ -1,0 +1,31 @@
+"""Fig. 2a: throughput of simple vs complex ops, Crucial vs Redis."""
+
+from conftest import archive, full_scale
+from repro.harness import fig2a_throughput
+
+
+def test_fig2a_throughput(benchmark):
+    kwargs = ({"threads": 200, "window": 0.2} if full_scale()
+              else {"threads": 200, "window": 0.1})
+    result = benchmark.pedantic(fig2a_throughput.run, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    report = fig2a_throughput.report(result)
+    archive("fig2a_throughput", report)
+
+    throughput = result.throughput
+    # Redis wins on simple operations (optimized C core)...
+    assert throughput[("redis", "simple")] > \
+        throughput[("crucial", "simple")]
+    # ...but Crucial's disjoint-access parallelism dominates complex
+    # ones by severalfold, even with replication on.
+    assert throughput[("crucial", "complex")] > \
+        3.0 * throughput[("redis", "complex")]
+    assert throughput[("crucial-rf2", "complex")] > \
+        1.3 * throughput[("redis", "complex")]
+    # Crucial is insensitive to operation complexity relative to
+    # Redis: its complex/simple ratio is much higher.
+    crucial_ratio = (throughput[("crucial", "complex")]
+                     / throughput[("crucial", "simple")])
+    redis_ratio = (throughput[("redis", "complex")]
+                   / throughput[("redis", "simple")])
+    assert crucial_ratio > 3.0 * redis_ratio

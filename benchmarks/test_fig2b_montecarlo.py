@@ -1,0 +1,26 @@
+"""Fig. 2b: Monte Carlo scalability up to 800 cloud threads."""
+
+import math
+
+from conftest import archive, full_scale
+from repro.harness import fig2b_montecarlo
+
+
+def test_fig2b_montecarlo(benchmark):
+    counts = ((1, 50, 100, 200, 400, 800) if full_scale()
+              else (1, 50, 200, 800))
+    result = benchmark.pedantic(
+        fig2b_montecarlo.run, kwargs={"thread_counts": counts},
+        rounds=1, iterations=1)
+    report = fig2b_montecarlo.report(result)
+    archive("fig2b_montecarlo", report)
+
+    # Paper: 512x speedup at 800 threads, 8.4G points/s.
+    speedup = result.speedup(800)
+    assert 400 < speedup < 700
+    assert 6e9 < result.runs[800][2] < 10e9
+    # Scaling is near-linear early on.
+    assert result.speedup(50) > 40
+    # And the estimates actually converge to pi.
+    for threads, (estimate, _t, _pps) in result.runs.items():
+        assert abs(estimate - math.pi) < 1e-3, threads

@@ -1,0 +1,25 @@
+"""Fig. 3: k-means scale-up — Crucial vs single-machine VMs."""
+
+from conftest import archive, full_scale
+from repro.harness import fig3_scaleup
+
+
+def test_fig3_kmeans_scaleup(benchmark):
+    counts = ((1, 8, 16, 80, 160, 320) if full_scale()
+              else (1, 16, 160, 320))
+    result = benchmark.pedantic(
+        fig3_scaleup.run, kwargs={"thread_counts": counts},
+        rounds=1, iterations=1)
+    report = fig3_scaleup.report(result)
+    archive("fig3_kmeans_scaleup", report)
+
+    crucial = result.curves["crucial"]
+    vm8 = result.curves["vm-8-cores"]
+    vm16 = result.curves["vm-16-cores"]
+    # Crucial stays within ~10-15% of the optimum at every scale.
+    assert crucial[160] > 0.85
+    assert crucial[320] > 0.80
+    # The VMs collapse once threads exceed cores.
+    assert vm8[160] < 0.10
+    assert vm16[160] < 0.20
+    assert vm16[16] > 0.95

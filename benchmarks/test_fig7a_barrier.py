@@ -1,0 +1,25 @@
+"""Fig. 7a: barrier wait times, Crucial vs SNS+SQS."""
+
+from conftest import archive, full_scale
+from repro.harness import fig7a_barrier
+
+
+def test_fig7a_barrier(benchmark):
+    kwargs = ({"thread_counts": (4, 20, 80, 320),
+               "crucial_only": (1800,)} if full_scale()
+              else {"thread_counts": (4, 80, 320)})
+    result = benchmark.pedantic(fig7a_barrier.run, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    report = fig7a_barrier.report(result)
+    archive("fig7a_barrier", report)
+
+    waits = result.waits
+    # Crucial's barrier is at least an order of magnitude faster.
+    assert waits[("sns-sqs", 320)] > 8 * waits[("crucial", 320)]
+    # Crucial stays in the tens of milliseconds at 320 threads.
+    assert waits[("crucial", 320)] < 0.15
+    # SNS+SQS is hundreds of milliseconds even at 4 threads.
+    assert waits[("sns-sqs", 4)] > 0.2
+    if ("crucial", 1800) in waits:
+        # Paper: 68 ms on average with 1800 threads.
+        assert waits[("crucial", 1800)] < 0.25

@@ -1,0 +1,17 @@
+"""Fig. 7c: the Santa Claus problem across deployments."""
+
+from conftest import archive
+from repro.harness import fig7c_santa
+
+
+def test_fig7c_santa(benchmark):
+    result = benchmark.pedantic(fig7c_santa.run, rounds=1, iterations=1)
+    report = fig7c_santa.report(result)
+    archive("fig7c_santa", report)
+
+    # All three variants solve the problem completely.
+    assert all(r.deliveries == 15 for r in result.results.values())
+    # Paper: storing the objects in Crucial costs ~8%.
+    assert -0.02 < result.overhead("dso") < 0.25
+    # Cloud threads add little beyond invocation overhead.
+    assert result.overhead("cloud") < result.overhead("dso") + 0.20

@@ -1,0 +1,25 @@
+"""Fig. 8: inference serving under storage-node churn."""
+
+from conftest import archive, full_scale
+from repro.harness import fig8_persistence
+
+
+def test_fig8_persistence(benchmark):
+    duration = 360.0 if full_scale() else 120.0
+    result = benchmark.pedantic(
+        fig8_persistence.run, kwargs={"duration": duration},
+        rounds=1, iterations=1)
+    report = fig8_persistence.report(result)
+    archive("fig8_persistence", report)
+
+    steady = result.steady()
+    degraded = result.degraded()
+    recovered = result.recovered()
+    # Paper: ~490 inferences/s steady state.
+    assert 380 < steady < 600
+    # Paper: the crash costs ~30% of throughput, but never blocks.
+    drop = 1.0 - degraded / steady
+    assert 0.2 < drop < 0.45
+    assert degraded > 100
+    # Paper: initial throughput restored after the new node joins.
+    assert recovered > 0.9 * steady

@@ -1,0 +1,17 @@
+"""Table 4: lines changed to port each application to Crucial."""
+
+from conftest import archive
+from repro.harness import table4_loc
+
+
+def test_table4_loc(benchmark):
+    result = benchmark.pedantic(table4_loc.run, rounds=1, iterations=1)
+    report = table4_loc.report(result)
+    archive("table4_loc", report)
+
+    # Porting is a handful of changed lines per application (the
+    # paper's Java programs are longer, so fractions differ; the
+    # changed-line counts match its order of magnitude).
+    for row in result.rows:
+        assert row.changed_lines <= 8, row.application
+        assert row.changed_fraction < 0.15, row.application

@@ -1,0 +1,42 @@
+"""Synchronizing a map phase five ways (the Fig. 6 scenario).
+
+Runs a small Monte-Carlo map phase and aggregates the results using
+each strategy — S3 polling (PyWren-style), in-memory grid polling,
+SQS, Crucial futures, and DSO auto-reduce — printing the time each
+technique spends synchronizing.
+"""
+
+import math
+
+from repro import CrucialEnvironment
+from repro.coordination import MapSyncExperiment
+from repro.coordination.mapsync import STRATEGIES
+
+N_THREADS = 20
+DRAWS = 5_000_000
+
+
+def main():
+    print(f"map phase: {N_THREADS} cloud threads x {DRAWS:,} draws")
+    results = {}
+    for name in ("sqs", "s3-polling", "grid-polling", "future",
+                 "auto-reduce"):
+        with CrucialEnvironment(seed=33, dso_nodes=1) as env:
+            def run_one():
+                experiment = MapSyncExperiment(name, n_threads=N_THREADS,
+                                               draws=DRAWS)
+                return experiment.execute()
+
+            results[name] = env.run(run_one)
+    print(f"{'strategy':14s} {'sync time':>10s} {'estimate':>10s}")
+    for name, result in sorted(results.items(),
+                               key=lambda kv: -kv[1].sync_time):
+        estimate = 4.0 * result.aggregate / (N_THREADS * DRAWS)
+        print(f"{name:14s} {result.sync_time:9.3f}s {estimate:10.5f}")
+        assert abs(estimate - math.pi) < 0.01
+    assert set(results) == set(STRATEGIES)
+    return results
+
+
+if __name__ == "__main__":
+    main()

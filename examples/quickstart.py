@@ -1,0 +1,58 @@
+"""Quickstart: Listing 1 — Monte Carlo estimation of pi.
+
+A multi-threaded program where the threads are serverless functions
+and the shared counter lives in the DSO layer.  Run with::
+
+    python examples/quickstart.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import AtomicLong, CloudThread, CrucialEnvironment
+from repro.core.runtime import compute, current_environment
+from repro.ml.costmodel import montecarlo_cost
+
+N_THREADS = 16
+ITERATIONS = 10_000_000
+
+
+class PiEstimator:
+    """The Runnable: draw points, count hits, add to the counter."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.counter = AtomicLong("counter")  # @Shared(key="counter")
+
+    def run(self):
+        env = current_environment()
+        rng = np.random.Generator(np.random.PCG64(self.seed))
+        # The simulator draws the hit count from the loop's exact
+        # distribution and charges the modelled CPU time of the draws.
+        count = int(rng.binomial(ITERATIONS, math.pi / 4.0))
+        compute(montecarlo_cost(ITERATIONS, env.config))
+        self.counter.add_and_get(count)
+
+
+def main():
+    with CrucialEnvironment(seed=42, dso_nodes=1) as env:
+        def client_application():
+            threads = [CloudThread(PiEstimator(i))
+                       for i in range(N_THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            total = AtomicLong("counter").get()
+            return 4.0 * total / (N_THREADS * ITERATIONS), env.now
+
+        estimate, elapsed = env.run(client_application)
+    print(f"pi  ~= {estimate:.6f}   (error {abs(estimate - math.pi):.2e})")
+    print(f"ran {N_THREADS} cloud threads x {ITERATIONS:,} draws "
+          f"in {elapsed:.2f} simulated seconds")
+    return estimate
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""The Santa Claus problem: one monitor class, three deployments.
+
+Runs the same workshop monitor as (1) an in-process POJO, (2) a
+``@Shared`` object in the DSO layer, and (3) with entities as cloud
+threads — reproducing the Fig. 7c comparison at example scale.
+"""
+
+from repro import CrucialEnvironment
+from repro.coordination import SantaClausProblem
+
+
+def main():
+    results = {}
+    for variant in ("local", "dso", "cloud"):
+        with CrucialEnvironment(seed=12, dso_nodes=1) as env:
+            problem = SantaClausProblem(deliveries=15, seed=12)
+            results[variant] = env.run(
+                lambda v=variant: problem.run(v))
+
+    local = results["local"].elapsed
+    print("Santa Claus problem - 10 elves, 9 reindeer, 15 deliveries")
+    for variant, result in results.items():
+        overhead = result.elapsed / local - 1.0
+        print(f"  {variant:6s}: {result.elapsed:6.3f} simulated s "
+              f"({overhead:+6.1%} vs local) - "
+              f"{result.deliveries} deliveries, {result.helps} "
+              "elf groups helped")
+    assert all(r.deliveries == 15 for r in results.values())
+    return results
+
+
+if __name__ == "__main__":
+    main()

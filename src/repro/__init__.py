@@ -1,0 +1,81 @@
+"""repro — a reproduction of Crucial (Middleware '19).
+
+"On the FaaS Track: Building Stateful Distributed Applications with
+Serverless Architectures": a system for programming highly-concurrent
+stateful applications on FaaS, built on a distributed shared object
+(DSO) layer over a low-latency in-memory store.
+
+This package re-implements the complete system — and every substrate
+it depends on (FaaS platform, in-memory data grid, object store,
+queues, total-order multicast, a mini-Spark baseline) — on top of a
+deterministic discrete-event simulation, so the paper's experiments
+run on a laptop in seconds.  See DESIGN.md for the experiment index.
+
+Quickstart::
+
+    from repro import CrucialEnvironment, CloudThread, AtomicLong
+
+    class Work:
+        def __init__(self):
+            self.counter = AtomicLong("counter")
+        def run(self):
+            self.counter.add_and_get(1)
+
+    with CrucialEnvironment(dso_nodes=1) as env:
+        def main():
+            threads = [CloudThread(Work()) for _ in range(4)]
+            for t in threads: t.start()
+            for t in threads: t.join()
+            return AtomicLong("counter").get()
+        print(env.run(main))  # -> 4
+"""
+
+from repro.config import Config, DEFAULT_CONFIG
+from repro.core import (
+    AtomicBoolean,
+    AtomicByteArray,
+    AtomicInt,
+    AtomicLong,
+    AtomicReference,
+    CloudThread,
+    CountDownLatch,
+    CrucialEnvironment,
+    CyclicBarrier,
+    Future,
+    RetryPolicy,
+    Semaphore,
+    SharedField,
+    SharedList,
+    SharedMap,
+    current_environment,
+    dso_costs,
+    run_all,
+    shared,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "DEFAULT_CONFIG",
+    "CrucialEnvironment",
+    "current_environment",
+    "CloudThread",
+    "RetryPolicy",
+    "run_all",
+    "shared",
+    "SharedField",
+    "dso_costs",
+    "AtomicInt",
+    "AtomicLong",
+    "AtomicBoolean",
+    "AtomicByteArray",
+    "AtomicReference",
+    "SharedList",
+    "SharedMap",
+    "CyclicBarrier",
+    "Semaphore",
+    "Future",
+    "CountDownLatch",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Example applications from the paper's evaluation."""
+
+from repro.apps.montecarlo import PiEstimator, estimate_pi
+
+__all__ = ["PiEstimator", "estimate_pi"]

@@ -1,0 +1,7 @@
+"""Cluster substrate: nodes, consistent hashing, membership views."""
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.membership import MembershipService, View
+from repro.cluster.node import Node
+
+__all__ = ["Node", "ConsistentHashRing", "MembershipService", "View"]

@@ -1,0 +1,100 @@
+"""Membership views for the DSO layer.
+
+A variation of view synchrony (Section 4.1): the membership service
+emits a *totally-ordered* sequence of views.  Crashes are noticed after
+a failure-detection delay; joins are announced explicitly.  Listeners
+(the DSO servers) install views in order and re-balance data between
+consecutive views.
+
+This service is the "coordinator" role JGroups plays for Infinispan.
+It is modelled as reliable (the paper's prototype likewise does not
+tolerate coordinator failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.node import Node
+from repro.simulation.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class View:
+    """One totally-ordered group-membership view."""
+
+    view_id: int
+    members: tuple[str, ...]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.members
+
+
+class MembershipService:
+    """Emits totally-ordered views over a set of nodes."""
+
+    def __init__(self, kernel: Kernel, failure_detection_delay: float = 4.0):
+        self.kernel = kernel
+        self.failure_detection_delay = failure_detection_delay
+        self._members: list[str] = []
+        self._view_id = 0
+        self._listeners: list[Callable[[View], None]] = []
+        self._history: list[View] = []
+        self._install(())
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def view(self) -> View:
+        return self._history[-1]
+
+    @property
+    def history(self) -> tuple[View, ...]:
+        return tuple(self._history)
+
+    def subscribe(self, listener: Callable[[View], None]) -> None:
+        """Register a view listener; it is NOT called for past views."""
+        self._listeners.append(listener)
+
+    # -- membership events -----------------------------------------------------
+
+    def join(self, node: Node) -> View:
+        """Add a node; a new view is installed immediately."""
+        if node.name in self._members:
+            raise ValueError(f"{node.name} already a member")
+        self._members.append(node.name)
+        return self._install(tuple(self._members))
+
+    def leave(self, name: str) -> View:
+        """Graceful departure; a new view is installed immediately."""
+        self._members.remove(name)
+        return self._install(tuple(self._members))
+
+    def expel(self, name: str) -> None:
+        """Remove a member immediately (a failure detector decided).
+
+        Unlike :meth:`report_crash`, no extra delay is added: the
+        caller (e.g. a heartbeat detector) has already accounted for
+        detection time.
+        """
+        if name in self._members:
+            self._members.remove(name)
+            self._install(tuple(self._members))
+
+    def report_crash(self, name: str) -> None:
+        """Notice a fail-stop crash after the failure-detection delay."""
+        def detect():
+            if name in self._members:
+                self._members.remove(name)
+                self._install(tuple(self._members))
+
+        self.kernel.call_later(self.failure_detection_delay, detect)
+
+    def _install(self, members: tuple[str, ...]) -> View:
+        view = View(self._view_id, members)
+        self._view_id += 1
+        self._history.append(view)
+        for listener in self._listeners:
+            listener(view)
+        return view

@@ -1,0 +1,45 @@
+"""Server nodes: a network endpoint plus bounded CPU workers.
+
+A :class:`Node` models one storage/compute server (e.g. the
+r5.2xlarge instances hosting the DSO layer).  Its ``workers`` resource
+bounds how many requests are serviced concurrently, which is what
+gives the DSO layer disjoint-access parallelism in Fig. 2a — and what
+denies it to the single-threaded Redis baseline (``workers=1``).
+"""
+
+from __future__ import annotations
+
+from repro.net.network import Endpoint, Network
+from repro.simulation.kernel import Kernel
+from repro.simulation.resources import Resource
+
+
+class Node:
+    """A simulated server machine attached to the network."""
+
+    def __init__(self, kernel: Kernel, network: Network, name: str,
+                 workers: int = 8):
+        self.kernel = kernel
+        self.network = network
+        self.name = name
+        self.endpoint: Endpoint = network.register(name)
+        self.workers = Resource(kernel, capacity=workers,
+                                name=f"{name}.workers")
+
+    @property
+    def alive(self) -> bool:
+        return self.endpoint.alive
+
+    @property
+    def epoch(self) -> int:
+        return self.endpoint.epoch
+
+    def crash(self) -> None:
+        """Fail-stop the node; volatile state epochs are invalidated."""
+        self.endpoint.crash()
+
+    def restart(self) -> None:
+        self.endpoint.restart()
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} {'up' if self.alive else 'down'}>"

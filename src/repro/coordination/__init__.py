@@ -1,0 +1,6 @@
+"""Fine-grained coordination workloads (Section 6.3)."""
+
+from repro.coordination.mapsync import MapSyncExperiment, STRATEGIES
+from repro.coordination.santa import SantaClausProblem
+
+__all__ = ["MapSyncExperiment", "STRATEGIES", "SantaClausProblem"]

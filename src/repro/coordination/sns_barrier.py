@@ -1,0 +1,80 @@
+"""A barrier built from the standard AWS toolkit: SNS + SQS.
+
+The Fig. 7a baseline: threads announce arrival on a shared SQS queue;
+a coordinator (in the client) counts arrivals and publishes a release
+message to an SNS topic fanned out to one SQS queue per thread, which
+each thread polls.  Every step pays queue/notification latencies, so
+the barrier costs hundreds of milliseconds — one order of magnitude
+slower than Crucial's DSO barrier at 320 threads.
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime import current_environment
+
+
+class SnsSqsBarrier:
+    """A reusable (cyclic) barrier over SNS + SQS."""
+
+    def __init__(self, run_id: str, parties: int):
+        self.run_id = run_id
+        self.parties = parties
+
+    # -- naming ------------------------------------------------------------------
+
+    @property
+    def arrival_queue(self) -> str:
+        return f"{self.run_id}-arrivals"
+
+    @property
+    def topic(self) -> str:
+        return f"{self.run_id}-release"
+
+    def member_queue(self, thread_id: int) -> str:
+        return f"{self.run_id}-member-{thread_id}"
+
+    # -- setup (client side, before measurement) -----------------------------------
+
+    def setup(self) -> None:
+        env = current_environment()
+        env.queue_service.create_queue(self.arrival_queue)
+        env.notification.create_topic(self.topic)
+        for thread_id in range(self.parties):
+            env.queue_service.create_queue(self.member_queue(thread_id))
+            env.notification.subscribe(self.topic,
+                                       self.member_queue(thread_id))
+
+    # -- coordinator --------------------------------------------------------------
+
+    def coordinate(self, rounds: int) -> None:
+        """Run in a client thread: release each round once all
+        arrivals are in."""
+        env = current_environment()
+        for round_number in range(rounds):
+            seen = 0
+            while seen < self.parties:
+                batch = env.queue_service.receive(
+                    self.arrival_queue, max_messages=10, wait=30.0)
+                if batch:
+                    env.queue_service.delete_batch(
+                        self.arrival_queue,
+                        [message.receipt for message in batch])
+                seen += len(batch)
+            env.notification.publish(self.topic, round_number)
+
+    # -- member side -----------------------------------------------------------------
+
+    def wait(self, thread_id: int, round_number: int) -> None:
+        """Announce arrival, then poll the member queue for release."""
+        env = current_environment()
+        env.queue_service.send(self.arrival_queue,
+                               (thread_id, round_number))
+        queue = self.member_queue(thread_id)
+        while True:
+            batch = env.queue_service.receive(queue, max_messages=10,
+                                              wait=30.0)
+            if batch:
+                env.queue_service.delete_batch(
+                    queue, [message.receipt for message in batch])
+            if any(message.body >= round_number for message in batch):
+                return

@@ -1,0 +1,46 @@
+"""Crucial's programming model (Table 1 abstractions).
+
+* :class:`CloudThread` — serverless functions invoked like threads;
+* shared objects — linearizable ``AtomicInt``/``AtomicLong``/
+  ``AtomicBoolean``/``AtomicByteArray``/``SharedList``/``SharedMap``;
+* synchronization objects — ``CyclicBarrier``, ``Semaphore``,
+  ``Future``, ``CountDownLatch``;
+* :func:`shared` — user-defined shared objects (the ``@Shared``
+  annotation), with ``persistent=True`` enabling replication.
+"""
+
+from repro.core.runtime import CrucialEnvironment, current_environment
+from repro.core.cloud_thread import CloudThread, RetryPolicy, run_all
+from repro.core.shared import SharedField, dso_costs, shared
+from repro.core.objects import (
+    AtomicBoolean,
+    AtomicByteArray,
+    AtomicInt,
+    AtomicLong,
+    AtomicReference,
+    SharedList,
+    SharedMap,
+)
+from repro.core.sync import CountDownLatch, CyclicBarrier, Future, Semaphore
+
+__all__ = [
+    "CrucialEnvironment",
+    "current_environment",
+    "CloudThread",
+    "RetryPolicy",
+    "run_all",
+    "shared",
+    "SharedField",
+    "dso_costs",
+    "AtomicInt",
+    "AtomicLong",
+    "AtomicBoolean",
+    "AtomicByteArray",
+    "AtomicReference",
+    "SharedList",
+    "SharedMap",
+    "CyclicBarrier",
+    "Semaphore",
+    "Future",
+    "CountDownLatch",
+]

@@ -1,0 +1,14 @@
+"""The distributed shared object (DSO) layer.
+
+Crucial's core contribution: mutable shared state organized as
+*callable objects* living inside a low-latency in-memory store.
+Clients ship method invocations to the object's primary replica
+(located via consistent hashing of the ``(type, key)`` reference);
+persistent objects are replicated with state machine replication, and
+membership changes trigger background rebalancing.
+"""
+
+from repro.dso.reference import DsoReference
+from repro.dso.layer import DsoLayer
+
+__all__ = ["DsoReference", "DsoLayer"]

@@ -1,0 +1,623 @@
+"""The DSO layer: placement, method shipping, SMR, rebalancing.
+
+Clients never hold object state: they ship method invocations to the
+object's *primary* replica, located by consistent-hashing the
+``(type, key)`` reference over the current membership view
+(Section 4.1).  Linearizability comes from a per-object lock at the
+primary: invocations acquire it in arrival order and execute one at a
+time.
+
+Persistent objects (``rf >= 2``): each invocation is applied, in the
+same order, at every replica before the client is acknowledged —
+state machine replication.  The inter-replica ordering round adds two
+one-way hops plus replica-side work, reproducing Table 2's latency
+doubling.  On a node crash the surviving replicas take over after
+failure detection; acknowledged writes survive (``rf - 1`` joint
+failures tolerated, Section 4.4).
+
+Membership changes install totally-ordered views; a background
+rebalancer then moves objects to their new consistent-hash owners,
+holding each object's lock only for its own transfer — the "minimal
+service interruption" property, and the recovery ramp of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.membership import MembershipService, View
+from repro.config import Config, DEFAULT_CONFIG
+from repro.dso.reference import DsoReference
+from repro.dso.server import DsoCall, DsoNode, ObjectContainer, ServerCondition
+from repro.errors import (
+    NetworkError,
+    NoSuchObjectError,
+    NodeCrashedError,
+    ObjectLostError,
+    ServiceUnavailableError,
+)
+from repro.net.network import Network, ship
+from repro.simulation.kernel import Kernel, current_thread
+
+
+class ServerObject:
+    """Base class for objects needing server-side facilities.
+
+    Methods of a ``ServerObject`` receive the current :class:`DsoCall`
+    as their first argument and may park it on conditions created with
+    :meth:`new_condition` — the wait/notify pattern the paper's
+    synchronization objects use.  Server objects are never replicated
+    (footnote 2: synchronization objects are ephemeral).
+    """
+
+    _container: ObjectContainer | None = None
+
+    def attach(self, container: ObjectContainer) -> None:
+        self._container = container
+
+    def new_condition(self) -> ServerCondition:
+        assert self._container is not None, "object not hosted yet"
+        return self._container.condition()
+
+
+class KvSlot:
+    """A plain value cell: the raw GET/PUT path measured in Table 2."""
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def get(self) -> Any:
+        return self.value
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+
+class _StaleContainer(Exception):
+    """Internal: the container moved while we queued on its lock."""
+
+
+@dataclass
+class Placement:
+    ref: DsoReference
+    replicas: list[str]
+    lost: bool = False
+    version: int = 0
+
+
+@dataclass
+class LayerStats:
+    invocations: int = 0
+    retries: int = 0
+    creations: int = 0
+    rebalanced_objects: int = 0
+    lost_objects: int = 0
+
+
+class DsoLayer:
+    """A deployment of DSO storage nodes plus its client-side logic."""
+
+    def __init__(self, kernel: Kernel, network: Network,
+                 config: Config = DEFAULT_CONFIG, name: str = "dso",
+                 copy_instances: bool = True):
+        self.kernel = kernel
+        self.network = network
+        self.config = config
+        self.name = name
+        #: Ship object state through pickle on creation/rebalance.
+        #: Benchmarks with huge logical objects can disable it.
+        self.copy_instances = copy_instances
+        self.membership = MembershipService(
+            kernel, failure_detection_delay=config.dso.failure_detection)
+        self.nodes: dict[str, DsoNode] = {}
+        self.ring: ConsistentHashRing | None = None
+        self.stats = LayerStats()
+        self._placements: dict[tuple[str, str], Placement] = {}
+        self._node_ids = itertools.count()
+        self._retry_backoff = 0.25
+        self._failure_detector = None
+        self.membership.subscribe(self._on_view)
+
+    # ------------------------------------------------------------------
+    # Deployment management
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str | None = None) -> DsoNode:
+        """Provision one storage node and announce it to the group."""
+        if name is None:
+            name = f"{self.name}-{next(self._node_ids)}"
+        node = DsoNode(self.kernel, self.network, name,
+                       workers=self.config.dso.node_workers)
+        self.nodes[name] = node
+        latency = self.config.dso.replica_replica
+        for other in self.nodes.values():
+            if other is not node:
+                self.network.set_link(name, other.name, latency)
+        self.membership.join(node.node)
+        return node
+
+    def enable_failure_detector(self, period: float = 1.0,
+                                timeout: float | None = None):
+        """Switch from modelled detection delay to a real heartbeat
+        detector: crashes are then *noticed*, not announced."""
+        from repro.cluster.failure_detector import HeartbeatFailureDetector
+
+        if timeout is None:
+            timeout = self.config.dso.failure_detection
+        self._failure_detector = HeartbeatFailureDetector(
+            self.kernel, self.network, self.membership,
+            period=period, timeout=timeout,
+            name=f"{self.name}-fd").start()
+        return self._failure_detector
+
+    def crash_node(self, name: str) -> None:
+        """Fail-stop ``name``; detection takes ``failure_detection`` s
+        (or, with a heartbeat detector enabled, its detection bound).
+
+        Must run in a simulated thread (it releases parked waiters).
+        """
+        node = self.nodes[name]
+        node.crash()
+        if self._failure_detector is None:
+            self.membership.report_crash(name)
+
+    def remove_node(self, name: str) -> None:
+        """Graceful departure: announce first, let rebalancing drain."""
+        self.membership.leave(name)
+
+    def live_nodes(self) -> list[DsoNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    def invoke(self, client: str, ref: DsoReference, method: str,
+               args: tuple = (), kwargs: dict | None = None,
+               ctor: tuple | None = None, cost: float = 0.0,
+               raw_service: float | None = None) -> Any:
+        """Ship a method invocation to ``ref``'s primary replica.
+
+        ``ctor = (cls, ctor_args, ctor_kwargs)`` creates the object on
+        first touch.  ``cost`` is the modelled CPU seconds the method
+        burns server-side (beyond fixed dispatch overhead).  Transient
+        infrastructure failures are retried until failure detection
+        re-homes the object; application exceptions raised by the
+        method propagate to the caller.
+        """
+        kwargs = kwargs or {}
+        deadline = (self.kernel.now + self.config.dso.failure_detection
+                    + self.config.dso.view_change_pause + 8.0)
+        while True:
+            try:
+                return self._invoke_once(client, ref, method, args, kwargs,
+                                         ctor, cost, raw_service)
+            except (_StaleContainer, NetworkError, NodeCrashedError) as exc:
+                self.stats.retries += 1
+                placement = self._placements.get(ref.ident)
+                if placement is not None and placement.lost:
+                    raise ObjectLostError(
+                        f"{ref} was lost in a storage-node failure") from exc
+                if self.kernel.now >= deadline:
+                    raise
+                current_thread().sleep(self._retry_backoff)
+
+    def get(self, client: str, key: str, rf: int = 1) -> Any:
+        """Raw 1-value GET (the Table 2 code path)."""
+        ref = self._kv_ref(key, rf)
+        return self.invoke(client, ref, "get", ctor=(KvSlot, (), {}),
+                           raw_service=self.config.dso.get_service)
+
+    def put(self, client: str, key: str, value: Any, rf: int = 1) -> None:
+        """Raw 1-value PUT (the Table 2 code path)."""
+        ref = self._kv_ref(key, rf)
+        self.invoke(client, ref, "set", args=(value,),
+                    ctor=(KvSlot, (), {}),
+                    raw_service=self.config.dso.put_service)
+
+    def read_bulk(self, client: str, refs: Sequence[DsoReference],
+                  method: str = "get", per_read_cost: float = 0.0) -> list[Any]:
+        """Read many objects with one request per hosting node.
+
+        Used by inference serving (Fig. 8): reading a 200-centroid
+        model issues one batched request per node instead of 200
+        round trips, but still charges per-object service time, so
+        node capacity — the quantity the experiment stresses — is
+        modelled faithfully.  No cross-object atomicity is implied.
+        """
+        deadline = (self.kernel.now + self.config.dso.failure_detection
+                    + self.config.dso.view_change_pause + 8.0)
+        while True:
+            try:
+                return self._read_bulk_once(client, refs, method,
+                                            per_read_cost)
+            except (_StaleContainer, NetworkError, NodeCrashedError):
+                self.stats.retries += 1
+                if self.kernel.now >= deadline:
+                    raise
+                current_thread().sleep(self._retry_backoff)
+
+    def read_any(self, client: str, ref: DsoReference, method: str,
+                 args: tuple = (), cost: float = 0.0) -> Any:
+        """Eventually-consistent read from a *random* replica.
+
+        The paper leaves weaker consistency models as future work
+        (Section 7); this extension implements the obvious one: a read
+        served by any replica, without the per-object lock or the SMR
+        ordering round.  It can return stale state while a write is in
+        flight, but halves the latency of replicated reads and spreads
+        load across replicas.
+        """
+        placement = self._lookup(ref, None)
+        rng = self.kernel.rng.stream(f"dso.{self.name}.anyread")
+        replicas = placement.replicas
+        target = replicas[int(rng.integers(0, len(replicas)))]
+        node = self._live_node(target)
+        self._connect(client, target)
+        self.network.transfer(client, target, (method, args))
+        container = node.containers.get(ref.ident)
+        if container is None or container.dead:
+            raise _StaleContainer(f"{ref} not hosted on {target}")
+        node.node.workers._sem.acquire()
+        try:
+            current_thread().sleep(self.config.dso.method_call_overhead
+                                   + cost)
+            result = self._apply(container, method, args, {}, None)
+        finally:
+            node.node.workers._sem.release()
+        self.stats.invocations += 1
+        return self.network.transfer(target, client, result)
+
+    # ------------------------------------------------------------------
+    # Passivation (Section 4.1: objects "can be passivated to stable
+    # storage using standard mechanisms (marshalling)")
+    # ------------------------------------------------------------------
+
+    def passivate(self, client: str, ref: DsoReference, store) -> str:
+        """Marshal a shared object into the object store.
+
+        Returns the storage key.  The object stays live in memory;
+        passivation is a checkpoint, from which :meth:`restore` can
+        re-create the object after the layer lost it.
+        """
+        placement = self._lookup(ref, None)
+        primary = self._live_node(placement.replicas[0])
+        container = primary.containers.get(ref.ident)
+        if container is None:
+            raise NoSuchObjectError(f"{ref} not hosted")
+        key = f"__dso__/{ref.type_name}/{ref.key}"
+        self.network.transfer(client, primary.name, ref.ident)
+        snapshot = ship(container.instance)
+        store.put(key, (type(snapshot), snapshot.__dict__))
+        return key
+
+    def restore(self, client: str, ref: DsoReference, store,
+                key: str | None = None) -> None:
+        """Re-create a shared object from a passivated snapshot."""
+        if key is None:
+            key = f"__dso__/{ref.type_name}/{ref.key}"
+        cls, state = store.get(key)
+        instance = cls.__new__(cls)
+        instance.__dict__.update(state)
+        placement = self._placements.get(ref.ident)
+        if placement is not None and not placement.lost:
+            raise ServiceUnavailableError(
+                f"{ref} is still live; delete it before restoring")
+        self._placements.pop(ref.ident, None)
+        if self.ring is None or not len(self.ring):
+            raise ServiceUnavailableError(f"{self.name}: no storage nodes")
+        replicas = [name for name in
+                    self.ring.preference_list(ref.ident, ref.rf)
+                    if self.nodes[name].alive]
+        if not replicas:
+            raise ServiceUnavailableError(f"{self.name}: no live replica")
+        restored = Placement(ref=ref, replicas=list(replicas))
+        self._placements[ref.ident] = restored
+        for name in replicas:
+            copy = ship(instance) if self.copy_instances else instance
+            container = self.nodes[name].host(ref.ident, copy)
+            if isinstance(copy, ServerObject):
+                copy.attach(container)
+        self.stats.creations += 1
+
+    def object_exists(self, ref: DsoReference) -> bool:
+        placement = self._placements.get(ref.ident)
+        return placement is not None and not placement.lost
+
+    def delete(self, client: str, ref: DsoReference) -> None:
+        """Explicitly remove a shared object (how persistent objects
+        die, Section 3.1)."""
+        placement = self._placements.pop(ref.ident, None)
+        if placement is None:
+            raise NoSuchObjectError(f"{ref} does not exist")
+        for name in placement.replicas:
+            node = self.nodes.get(name)
+            if node is not None and node.alive:
+                self.network.transfer(client, name, ref.ident)
+                node.evict(ref.ident)
+
+    # ------------------------------------------------------------------
+    # One invocation attempt
+    # ------------------------------------------------------------------
+
+    def _invoke_once(self, client: str, ref: DsoReference, method: str,
+                     args: tuple, kwargs: dict, ctor: tuple | None,
+                     cost: float, raw_service: float | None) -> Any:
+        placement = self._lookup(ref, ctor)
+        primary_name = placement.replicas[0]
+        node = self._live_node(primary_name)
+        version = placement.version
+        self._connect(client, primary_name)
+        shipped = self.network.transfer(client, primary_name,
+                                        (method, args, kwargs))
+        method, args, kwargs = shipped
+        container = node.containers.get(ref.ident)
+        if container is None or container.dead:
+            raise _StaleContainer(f"{ref} not hosted on {primary_name}")
+        call = DsoCall(container)
+        call.acquire()
+        released = False
+        try:
+            if node.containers.get(ref.ident) is not container:
+                raise _StaleContainer(f"{ref} moved off {primary_name}")
+            service = (raw_service if raw_service is not None
+                       else self.config.dso.method_call_overhead)
+            current_thread().sleep(service + cost)
+            if not node.alive or container.dead:
+                raise NodeCrashedError(
+                    f"{primary_name} crashed during {ref}.{method}")
+            self.stats.invocations += 1
+            result = self._apply(container, method, args, kwargs, call)
+            if len(placement.replicas) > 1 and placement.version == version:
+                # Free the primary worker before queueing for backup
+                # workers (keeps saturated replicating nodes
+                # deadlock-free); the object lock still serializes the
+                # op stream, preserving SMR's total order.
+                call.release_worker()
+                self._replicate(placement, ref, method, args, kwargs, cost)
+        finally:
+            if not call.aborted:
+                call.release()
+            released = True
+        assert released
+        return self.network.transfer(primary_name, client, result)
+
+    def _apply(self, container: ObjectContainer, method: str, args: tuple,
+               kwargs: dict, call: DsoCall | None) -> Any:
+        instance = container.instance
+        if method == "__dso_touch__":
+            return None  # creation ping from Proxy._ensure()
+        bound = getattr(instance, method, None)
+        if bound is None or not callable(bound):
+            raise AttributeError(
+                f"{type(instance).__name__} has no method {method!r}")
+        container.applied_ops += 1
+        if isinstance(instance, ServerObject) and call is not None:
+            return bound(call, *args, **kwargs)
+        return bound(*args, **kwargs)
+
+    def _replicate(self, placement: Placement, ref: DsoReference,
+                   method: str, args: tuple, kwargs: dict,
+                   cost: float) -> None:
+        """Apply the op at every backup before acknowledging (SMR).
+
+        Methods must be deterministic: each replica executes them on
+        its own copy — the state-machine-replication contract.
+        """
+        hop = self.config.dso.replica_replica
+        rng = self.kernel.rng.stream(f"dso.{self.name}.smr")
+        primary_name = placement.replicas[0]
+        current_thread().sleep(hop.sample(rng))  # ordering round out
+        for backup_name in placement.replicas[1:]:
+            backup = self.nodes.get(backup_name)
+            if backup is None or not backup.alive:
+                continue  # repaired at the next view
+            if not self.network.reachable(primary_name, backup_name):
+                # Partitioned replica: SMR cannot acknowledge without
+                # it (fail-stop durability contract).  Surface as a
+                # suspected failure; the client retries until the
+                # partition heals or a view change expels the replica.
+                raise NodeCrashedError(
+                    f"{backup_name} unreachable from {primary_name} "
+                    "during replication")
+            bcontainer = backup.containers.get(ref.ident)
+            if bcontainer is None or bcontainer.dead:
+                continue
+            backup.node.workers._sem.acquire()
+            try:
+                current_thread().sleep(
+                    self.config.dso.smr_replica_overhead + cost)
+                self._apply(bcontainer, method, args, kwargs, None)
+            finally:
+                backup.node.workers._sem.release()
+        current_thread().sleep(hop.sample(rng))  # commit round back
+
+    def _read_bulk_once(self, client: str, refs: Sequence[DsoReference],
+                        method: str, per_read_cost: float) -> list[Any]:
+        placements = [self._lookup(ref, None) for ref in refs]
+        groups: dict[str, list[int]] = {}
+        for index, placement in enumerate(placements):
+            groups.setdefault(placement.replicas[0], []).append(index)
+        results: list[Any] = [None] * len(refs)
+        service_each = (self.config.dso.method_call_overhead
+                        + per_read_cost)
+        for primary_name, indexes in sorted(groups.items()):
+            node = self._live_node(primary_name)
+            self._connect(client, primary_name)
+            self.network.transfer(client, primary_name,
+                                  [refs[i].ident for i in indexes])
+            node.node.workers._sem.acquire()
+            try:
+                current_thread().sleep(service_each * len(indexes))
+                if not node.alive:
+                    raise NodeCrashedError(f"{primary_name} crashed mid-read")
+                for i in indexes:
+                    container = node.containers.get(refs[i].ident)
+                    if container is None or container.dead:
+                        raise _StaleContainer(f"{refs[i]} moved")
+                    results[i] = self._apply(container, method, (), {}, None)
+            finally:
+                node.node.workers._sem.release()
+            self.network.transfer(primary_name, client, len(indexes))
+        self.stats.invocations += len(refs)
+        return ship(results) if self.copy_instances else results
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def _kv_ref(self, key: str, rf: int) -> DsoReference:
+        return DsoReference("KvSlot", key, persistent=rf > 1, rf=rf)
+
+    def _lookup(self, ref: DsoReference, ctor: tuple | None) -> Placement:
+        placement = self._placements.get(ref.ident)
+        if placement is not None:
+            if placement.lost:
+                raise ObjectLostError(
+                    f"{ref} was lost in a storage-node failure")
+            return placement
+        if ctor is None:
+            raise NoSuchObjectError(f"{ref} does not exist")
+        return self._create(ref, ctor)
+
+    def _create(self, ref: DsoReference, ctor: tuple) -> Placement:
+        if self.ring is None or not len(self.ring):
+            raise ServiceUnavailableError(f"{self.name}: no storage nodes")
+        cls, ctor_args, ctor_kwargs = ctor
+        replicas = [name for name in
+                    self.ring.preference_list(ref.ident, ref.rf)
+                    if self.nodes[name].alive]
+        if not replicas:
+            raise ServiceUnavailableError(f"{self.name}: no live replica")
+        placement = Placement(ref=ref, replicas=list(replicas))
+        # Register before hosting: no suspension points in between, so
+        # concurrent first-touch creations cannot double-create.
+        self._placements[ref.ident] = placement
+        for name in replicas:
+            instance = cls(*ship(ctor_args), **ship(ctor_kwargs)) \
+                if self.copy_instances else cls(*ctor_args, **ctor_kwargs)
+            container = self.nodes[name].host(ref.ident, instance)
+            if isinstance(instance, ServerObject):
+                instance.attach(container)
+        self.stats.creations += 1
+        return placement
+
+    def _live_node(self, name: str) -> DsoNode:
+        node = self.nodes.get(name)
+        if node is None or not node.alive:
+            raise NetworkError(f"{name} is down")
+        return node
+
+    def _connect(self, client: str, node_name: str) -> None:
+        self.network.ensure_endpoint(client)
+        latency = self.config.dso.client_server
+        if self.network.link(client, node_name) is not latency:
+            self.network.set_link(client, node_name, latency)
+
+    # ------------------------------------------------------------------
+    # View changes and rebalancing
+    # ------------------------------------------------------------------
+
+    def _on_view(self, view: View) -> None:
+        self.ring = (ConsistentHashRing(view.members)
+                     if view.members else None)
+        for placement in self._placements.values():
+            if placement.lost:
+                continue
+            # Drop only *dead* replicas.  A node that left gracefully
+            # is still alive and keeps serving its objects until the
+            # background rebalancer migrates them to the new owners.
+            survivors = [
+                n for n in placement.replicas
+                if n in view.members
+                or (n in self.nodes and self.nodes[n].alive)]
+            if survivors != placement.replicas:
+                placement.version += 1
+            if not survivors:
+                placement.lost = True
+                placement.replicas = []
+                self.stats.lost_objects += 1
+            else:
+                placement.replicas = survivors
+        if view.members:
+            self.kernel.spawn(self._rebalance, view, daemon=True,
+                              name=f"{self.name}-rebalance-{view.view_id}")
+
+    def _rebalance(self, view: View) -> None:
+        """Move objects to their new consistent-hash owners.
+
+        Runs in the background after ``view_change_pause``; each
+        object's lock is held only for its own transfer, so foreground
+        traffic stalls at most per-object ("service interruption is
+        minimal", Section 4.1).  The per-object transfer cost includes
+        deliberate throttling, which is what stretches the Fig. 8
+        recovery over tens of seconds.
+        """
+        timings = self.config.dso
+        current_thread().sleep(timings.view_change_pause)
+        for ident in sorted(self._placements):
+            if self.membership.view.view_id != view.view_id:
+                return  # superseded by a newer view
+            placement = self._placements[ident]
+            if placement.lost or isinstance(
+                    self._primary_instance(placement), ServerObject):
+                continue
+            target = [n for n in
+                      self.ring.preference_list(ident, placement.ref.rf)]
+            if target == placement.replicas:
+                continue
+            source = self.nodes.get(placement.replicas[0])
+            if source is None or not source.alive:
+                continue
+            container = source.containers.get(ident)
+            if container is None:
+                continue
+            container.lock.acquire()
+            try:
+                current_thread().sleep(timings.transfer_per_object)
+                if self.membership.view.view_id != view.view_id:
+                    return
+                if not source.alive or container.dead:
+                    continue
+                for name in target:
+                    if name not in placement.replicas:
+                        copy = (ship(container.instance)
+                                if self.copy_instances
+                                else container.instance)
+                        self.nodes[name].host(ident, copy)
+                old_replicas = list(placement.replicas)
+                placement.replicas = list(target)
+                placement.version += 1
+                for name in old_replicas:
+                    if name not in target:
+                        self.nodes[name].evict(ident)
+                self.stats.rebalanced_objects += 1
+            finally:
+                if not container.lock.locked:
+                    pass
+                else:
+                    container.lock.release()
+
+    def _primary_instance(self, placement: Placement) -> Any:
+        node = self.nodes.get(placement.replicas[0])
+        if node is None:
+            return None
+        container = node.containers.get(placement.ref.ident)
+        return container.instance if container else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def placement_of(self, ref: DsoReference) -> tuple[str, ...]:
+        placement = self._placements.get(ref.ident)
+        if placement is None:
+            raise NoSuchObjectError(f"{ref} does not exist")
+        return tuple(placement.replicas)
+
+    def object_counts(self) -> dict[str, int]:
+        return {name: node.object_count()
+                for name, node in self.nodes.items() if node.alive}

@@ -1,0 +1,50 @@
+"""Object references: ``(type, key)`` pairs plus placement policy.
+
+Section 4.1: "each object in the DSO layer is uniquely identified by a
+reference.  Given an object of type T, the reference to this object is
+(T, k)" — where ``k`` defaults to the field name of the encompassing
+object and can be overridden with ``@Shared(key=k)``.  The reference
+is what gets consistent-hashed to locate the object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DsoReference:
+    """Identity and placement policy of one shared object."""
+
+    type_name: str
+    key: str
+    #: Persistent objects are replicated ``rf`` times and survive the
+    #: application (Section 3.1); ephemeral objects have ``rf == 1``.
+    persistent: bool = False
+    rf: int = 1
+
+    def __post_init__(self):
+        if self.rf < 1:
+            raise ValueError(f"replication factor must be >= 1: {self.rf}")
+        if not self.persistent and self.rf != 1:
+            raise ValueError("ephemeral objects are not replicated (rf=1)")
+        if self.persistent and self.rf < 2:
+            raise ValueError("persistent objects need rf >= 2")
+
+    @property
+    def ident(self) -> tuple[str, str]:
+        """The hashable placement identity ``(T, k)``."""
+        return (self.type_name, self.key)
+
+    def __str__(self) -> str:
+        flavor = f"persistent rf={self.rf}" if self.persistent else "ephemeral"
+        return f"({self.type_name}, {self.key!r}) [{flavor}]"
+
+
+def reference_for(cls: type, key: str, persistent: bool = False,
+                  rf: int | None = None) -> DsoReference:
+    """Build the reference for class ``cls`` under ``key``."""
+    if rf is None:
+        rf = 2 if persistent else 1
+    return DsoReference(type_name=cls.__name__, key=key,
+                        persistent=persistent, rf=rf)

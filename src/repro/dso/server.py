@@ -1,0 +1,155 @@
+"""DSO server nodes: object containers, per-object locks, parking.
+
+Each node hosts *containers*: the object instance, the per-object
+mutual-exclusion lock that makes method invocations linearizable, and
+any server-side conditions the object uses (synchronization objects
+block callers with wait/notify, Section 5).
+
+When a node crashes, every parked waiter on its objects is released
+with an error, and the containers are marked dead so late arrivals
+fail fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.node import Node
+from repro.errors import NodeCrashedError
+from repro.net.network import Network
+from repro.simulation.kernel import Kernel
+from repro.simulation.primitives import Condition, Lock
+
+
+class DsoCall:
+    """Tracks one in-progress method invocation at its primary replica.
+
+    Owns (at most) the container's object lock and one node worker
+    slot; :class:`ServerCondition` releases and re-acquires both when
+    the object parks the caller.
+    """
+
+    def __init__(self, container: "ObjectContainer"):
+        self.container = container
+        self.lock_held = False
+        self.worker_held = False
+        self.aborted = False
+
+    def acquire(self) -> None:
+        """Object lock first (linearization order), then a worker."""
+        self.container.lock.acquire()
+        self.lock_held = True
+        self.container.node.node.workers._sem.acquire()
+        self.worker_held = True
+
+    def release_worker(self) -> None:
+        """Free the worker slot while keeping the object lock.
+
+        Used before cross-node work (SMR replication): holding a
+        worker on node A while queueing for a worker on node B would
+        deadlock two saturated nodes replicating toward each other.
+        """
+        if self.worker_held:
+            self.container.node.node.workers._sem.release()
+            self.worker_held = False
+
+    def release(self) -> None:
+        self.release_worker()
+        if self.lock_held:
+            self.container.lock.release()
+            self.lock_held = False
+
+
+class ServerCondition:
+    """A wait/notify condition owned by a server-side object.
+
+    Synchronization objects (barrier, semaphore, future) block calls on
+    these; the container releases every waiter with
+    :class:`NodeCrashedError` if the hosting node dies.
+    """
+
+    def __init__(self, container: "ObjectContainer"):
+        self.container = container
+        self._condition = Condition(container.node.kernel)
+        container._conditions.append(self)
+
+    def wait(self, call: DsoCall) -> None:
+        """Park ``call`` until notified (Java's ``Object.wait()``).
+
+        Releases the object lock and the worker slot while parked; on
+        wake, re-acquires both — unless the node died, in which case
+        the waiter aborts with :class:`NodeCrashedError`.
+        """
+        call.release()
+        with self._condition:
+            self._condition.wait()
+        if self.container.dead:
+            call.aborted = True
+            raise NodeCrashedError(
+                f"{self.container.node.name} crashed while a caller "
+                f"waited on {self.container.key}")
+        call.acquire()
+
+    def notify_all(self) -> None:
+        with self._condition:
+            self._condition.notify_all()
+
+    def waiter_count(self) -> int:
+        return len(self._condition._waiters)
+
+
+class ObjectContainer:
+    """One replica of one shared object on one node."""
+
+    def __init__(self, node: "DsoNode", key: tuple[str, str], instance: Any):
+        self.node = node
+        self.key = key
+        self.instance = instance
+        self.lock = Lock(node.kernel)
+        self.dead = False
+        self.applied_ops = 0
+        self._conditions: list[ServerCondition] = []
+
+    def condition(self) -> ServerCondition:
+        return ServerCondition(self)
+
+    def mark_dead(self) -> None:
+        self.dead = True
+        for condition in self._conditions:
+            condition.notify_all()
+
+
+class DsoNode:
+    """A DSO storage server."""
+
+    def __init__(self, kernel: Kernel, network: Network, name: str,
+                 workers: int = 8):
+        self.kernel = kernel
+        self.node = Node(kernel, network, name, workers=workers)
+        self.containers: dict[tuple[str, str], ObjectContainer] = {}
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def alive(self) -> bool:
+        return self.node.alive
+
+    def host(self, key: tuple[str, str], instance: Any) -> ObjectContainer:
+        container = ObjectContainer(self, key, instance)
+        self.containers[key] = container
+        return container
+
+    def evict(self, key: tuple[str, str]) -> None:
+        self.containers.pop(key, None)
+
+    def crash(self) -> None:
+        """Fail-stop: lose every hosted object and release waiters."""
+        self.node.crash()
+        for container in list(self.containers.values()):
+            container.mark_dead()
+        self.containers.clear()
+
+    def object_count(self) -> int:
+        return len(self.containers)

@@ -1,0 +1,143 @@
+"""Exception hierarchy for the repro library.
+
+Exceptions are grouped by layer.  ``SimulationError`` and its
+subclasses concern the discrete-event substrate itself; ``CloudError``
+and its subclasses model failures of the simulated cloud services
+(network, storage, FaaS, DSO), which application code may legitimately
+catch and handle — exactly as the paper's applications handle AWS
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors of the discrete-event kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated threads remain blocked."""
+
+    def __init__(self, blocked_names: list[str]):
+        self.blocked_names = list(blocked_names)
+        super().__init__(
+            "simulation deadlock: no pending events but %d thread(s) "
+            "blocked: %s" % (len(blocked_names), ", ".join(blocked_names))
+        )
+
+
+class SimShutdown(BaseException):
+    """Raised inside a simulated thread when the kernel tears it down.
+
+    Derives from ``BaseException`` so that application-level
+    ``except Exception`` blocks cannot swallow it.
+    """
+
+
+class NotInSimThread(SimulationError):
+    """A blocking simulation primitive was used outside a SimThread."""
+
+
+class SimTimeoutError(SimulationError):
+    """A wait with a timeout elapsed before the condition was met."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated cloud
+# ---------------------------------------------------------------------------
+
+
+class CloudError(ReproError):
+    """Base class for simulated cloud-service failures."""
+
+
+class NetworkError(CloudError):
+    """The destination endpoint is unreachable (crash or partition)."""
+
+
+class RequestTimeout(CloudError):
+    """An RPC did not complete within its timeout."""
+
+
+class NodeCrashedError(CloudError):
+    """The server node crashed while serving (or before serving) a call."""
+
+
+class ServiceUnavailableError(CloudError):
+    """A cloud service refused a request (throttling, shutdown...)."""
+
+
+class NoSuchKeyError(CloudError):
+    """An object-store or KV key does not exist."""
+
+
+class NoSuchObjectError(CloudError):
+    """A DSO reference does not resolve to a live object."""
+
+
+class ObjectLostError(CloudError):
+    """An ephemeral shared object was lost in a storage-node failure."""
+
+
+class SerializationError(CloudError):
+    """A value shipped between nodes is not serializable."""
+
+
+# ---------------------------------------------------------------------------
+# FaaS layer
+# ---------------------------------------------------------------------------
+
+
+class FaasError(CloudError):
+    """Base class for simulated FaaS-platform errors."""
+
+
+class FunctionTimeoutError(FaasError):
+    """The function exceeded the platform's execution time limit."""
+
+
+class OutOfMemoryError(FaasError):
+    """The function exceeded its configured memory."""
+
+
+class InvocationError(FaasError):
+    """The function raised an application exception.
+
+    The original exception is re-raised at the invoker wrapped in this
+    type, mirroring how AWS Lambda reports handled errors in the
+    response payload.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class ThrottlingError(FaasError):
+    """The platform's concurrency limit was exceeded."""
+
+
+class RetriesExhaustedError(FaasError):
+    """A cloud thread failed more times than its retry policy allows."""
+
+
+# ---------------------------------------------------------------------------
+# Concurrency objects
+# ---------------------------------------------------------------------------
+
+
+class BrokenBarrierError(ReproError):
+    """The barrier was reset or a party failed while others waited."""
+
+
+class FutureCancelledError(ReproError):
+    """The future's value was awaited after cancellation."""

@@ -1,0 +1,5 @@
+"""The simulated Function-as-a-Service platform (AWS Lambda stand-in)."""
+
+from repro.faas.platform import FaasPlatform, FunctionContext
+
+__all__ = ["FaasPlatform", "FunctionContext"]

@@ -1,0 +1,61 @@
+"""Fig. 2b: scalability of the Monte Carlo simulation (Listing 1).
+
+1 to 800 cloud threads draw 100 M points each and aggregate into one
+shared counter.  The paper reports linear scaling with a 512x speedup
+at 800 threads and 8.4 billion points/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import CrucialEnvironment
+from repro.apps.montecarlo import estimate_pi
+from repro.metrics.report import render_table
+
+PAPER_SPEEDUP_800 = 512.0
+PAPER_POINTS_PER_SECOND_800 = 8.4e9
+
+
+@dataclass
+class MonteCarloScaling:
+    #: threads -> (pi estimate, elapsed, points/second)
+    runs: dict[int, tuple[float, float, float]]
+    draws_per_thread: int
+
+    def speedup(self, threads: int) -> float:
+        base = self.runs[1][2]
+        return self.runs[threads][2] / base
+
+
+def run(thread_counts: tuple[int, ...] = (1, 50, 100, 200, 400, 800),
+        draws: int = 100_000_000, seed: int = 3) -> MonteCarloScaling:
+    runs = {}
+    for threads in thread_counts:
+        with CrucialEnvironment(seed=seed, dso_nodes=1) as env:
+            def main():
+                return estimate_pi(threads, draws,
+                                   counter_key=f"pi-{threads}")
+
+            estimate, elapsed = env.run(main)
+        points_per_second = threads * draws / elapsed
+        runs[threads] = (estimate, elapsed, points_per_second)
+    return MonteCarloScaling(runs=runs, draws_per_thread=draws)
+
+
+def report(result: MonteCarloScaling) -> str:
+    rows = []
+    for threads, (estimate, elapsed, pps) in sorted(result.runs.items()):
+        rows.append((threads, f"{estimate:.5f}", f"{elapsed:.2f}s",
+                     f"{pps / 1e9:.2f}G/s",
+                     f"{result.speedup(threads):.0f}x"))
+    table = render_table(
+        ["threads", "pi", "elapsed", "points/s", "speedup"], rows,
+        title="Fig. 2b - Monte Carlo scalability")
+    if 800 in result.runs:
+        table += (
+            f"\npaper: 512x speedup at 800 threads -> measured "
+            f"{result.speedup(800):.0f}x"
+            f"\npaper: 8.4G points/s at 800 threads -> measured "
+            f"{result.runs[800][2] / 1e9:.1f}G/s")
+    return table

@@ -1,0 +1,103 @@
+"""Fig. 4: logistic regression, Crucial versus Spark.
+
+100 SGD iterations over the 100 GB dataset (80 workers / 80
+partitions).  Paper: the iterative phase takes 62.3 s in Crucial
+versus 75.9 s in Spark (18% faster), and both systems' logistic loss
+decreases identically per iteration — Crucial simply finishes sooner
+(Fig. 4b plots loss against time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import CrucialEnvironment
+from repro.metrics.report import comparison_table
+from repro.ml.dataset import MLDataset
+from repro.ml.logreg import CrucialLogisticRegression
+from repro.net import LatencyModel, Network
+from repro.simulation.kernel import Kernel
+from repro.sparklike import LogisticRegressionWithSGD, SparkCluster
+from repro.storage.object_store import ObjectStore
+
+PAPER_CRUCIAL_ITER = 62.3
+PAPER_SPARK_ITER = 75.9
+PAPER_CRUCIAL_TOTAL = 122.0
+PAPER_SPARK_TOTAL = 192.0
+
+
+@dataclass
+class LogRegComparison:
+    crucial_iter: float
+    spark_iter: float
+    crucial_total: float
+    spark_total: float
+    crucial_loss: list[float]
+    spark_loss: list[float]
+    iterations: int
+
+
+def run(iterations: int = 100, workers: int = 80,
+        seed: int = 5) -> LogRegComparison:
+    dataset = MLDataset("logreg", partitions=workers,
+                        materialized_points=40_000, seed=seed)
+    with CrucialEnvironment(seed=seed, dso_nodes=1,
+                            function_memory_mb=1792) as env:
+        job = CrucialLogisticRegression(dataset, iterations=iterations,
+                                        workers=workers)
+        crucial = env.run(job.train)
+    with Kernel(seed=seed) as kernel:
+        network = Network(kernel, LatencyModel(0.0002),
+                          copy_messages=False)
+        cluster = SparkCluster(kernel, network)
+        store = ObjectStore(kernel)
+        algorithm = LogisticRegressionWithSGD(cluster,
+                                              iterations=iterations)
+        spark = kernel.run_main(lambda: algorithm.train(dataset, store))
+    return LogRegComparison(
+        crucial_iter=crucial.iteration_phase_time,
+        spark_iter=spark.iteration_phase_time,
+        crucial_total=crucial.total_time,
+        spark_total=spark.total_time,
+        crucial_loss=crucial.loss_history,
+        spark_loss=spark.history,
+        iterations=iterations)
+
+
+def report(result: LogRegComparison) -> str:
+    fraction = result.iterations / 100.0
+    table = comparison_table(
+        f"Fig. 4 - logistic regression, {result.iterations} iterations",
+        [
+            ("Crucial iteration phase", PAPER_CRUCIAL_ITER * fraction,
+             result.crucial_iter),
+            ("Spark iteration phase", PAPER_SPARK_ITER * fraction,
+             result.spark_iter),
+            ("Crucial total", PAPER_CRUCIAL_TOTAL
+             - PAPER_CRUCIAL_ITER * (1 - fraction), result.crucial_total),
+            ("Spark total", PAPER_SPARK_TOTAL
+             - PAPER_SPARK_ITER * (1 - fraction), result.spark_total),
+        ], unit="s")
+    gain = 1.0 - result.crucial_iter / result.spark_iter
+    table += (f"\npaper: iterative phase 18% faster in Crucial -> "
+              f"measured {gain:.0%}")
+    first, mid, last = (result.crucial_loss[0],
+                        result.crucial_loss[len(result.crucial_loss) // 2],
+                        result.crucial_loss[-1])
+    table += (f"\nFig. 4b loss trajectory (Crucial): "
+              f"{first:.4f} -> {mid:.4f} -> {last:.4f}")
+    drift = max(abs(a - b) for a, b in
+                zip(result.crucial_loss, result.spark_loss))
+    table += (f"\nmax |Crucial - Spark| loss difference: {drift:.2e} "
+              "(identical math, as in the paper)")
+    # Fig. 4b plots loss against *time*: same curve, but Crucial's
+    # iterations tick faster, so it reaches any loss level sooner.
+    from repro.metrics.ascii_plot import sparkline
+
+    table += (
+        f"\nloss vs iteration ({result.iterations} iterations):"
+        f"\n  crucial {sparkline(result.crucial_loss, width=60)}"
+        f" done at t={result.crucial_iter:.1f}s"
+        f"\n  spark   {sparkline(result.spark_loss, width=60)}"
+        f" done at t={result.spark_iter:.1f}s")
+    return table

@@ -1,0 +1,135 @@
+"""Fig. 7a: average time a thread spends waiting on a barrier.
+
+Cloud threads execute consecutive 1-second computations in lock step;
+the barrier is either Crucial's DSO CyclicBarrier or the SNS+SQS
+construction.  Paper shape: Crucial is roughly an order of magnitude
+faster at 320 threads, and passes the barrier in ~68 ms on average
+with 1800 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import CrucialEnvironment, CloudThread, CyclicBarrier
+from repro.coordination.sns_barrier import SnsSqsBarrier
+from repro.core.runtime import compute, current_environment
+from repro.metrics.report import render_table
+from repro.simulation.thread import spawn
+
+PAPER_1800_THREADS_WAIT = 0.068
+ROUNDS = 3
+STEP_SECONDS = 1.0
+
+
+class _CrucialLockStep:
+    def __init__(self, run_id: str, thread_id: int, parties: int):
+        self.thread_id = thread_id
+        self.barrier = CyclicBarrier(f"{run_id}/barrier", parties)
+
+    def run(self) -> float:
+        env = current_environment()
+        self.barrier.wait()  # warm-up: absorb invocation stagger
+        waited = 0.0
+        for _round in range(ROUNDS):
+            compute(STEP_SECONDS, jitter_sigma=0.005)
+            entered = env.now
+            self.barrier.wait()
+            waited += env.now - entered
+        return waited / ROUNDS
+
+
+class _SnsLockStep:
+    def __init__(self, barrier: SnsSqsBarrier, thread_id: int):
+        self.barrier = barrier
+        self.thread_id = thread_id
+
+    def run(self) -> float:
+        env = current_environment()
+        self.barrier.wait(self.thread_id, 0)  # warm-up round
+        waited = 0.0
+        for round_number in range(1, ROUNDS + 1):
+            compute(STEP_SECONDS, jitter_sigma=0.005)
+            entered = env.now
+            self.barrier.wait(self.thread_id, round_number)
+            waited += env.now - entered
+        return waited / ROUNDS
+
+
+@dataclass
+class BarrierComparison:
+    #: (system, threads) -> average wait seconds
+    waits: dict[tuple[str, int], float]
+
+
+def _run_crucial(threads: int, seed: int) -> float:
+    with CrucialEnvironment(seed=seed, dso_nodes=1) as env:
+        def main():
+            env.pre_warm(threads)
+            workers = [
+                CloudThread(_CrucialLockStep(f"7a-{threads}", i, threads))
+                for i in range(threads)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            return sum(w.result() for w in workers) / threads
+
+        return env.run(main)
+
+
+def _run_sns(threads: int, seed: int) -> float:
+    with CrucialEnvironment(seed=seed, dso_nodes=1) as env:
+        def main():
+            barrier = SnsSqsBarrier(f"7a-sns-{threads}", threads)
+            barrier.setup()
+            env.pre_warm(threads)
+            coordinator = spawn(barrier.coordinate, ROUNDS + 1,
+                                name="coordinator")
+            workers = [CloudThread(_SnsLockStep(barrier, i))
+                       for i in range(threads)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            coordinator.join()
+            return sum(w.result() for w in workers) / threads
+
+        return env.run(main)
+
+
+def run(thread_counts: tuple[int, ...] = (4, 20, 80, 320),
+        crucial_only: tuple[int, ...] = (), seed: int = 9) -> BarrierComparison:
+    waits: dict[tuple[str, int], float] = {}
+    for threads in thread_counts:
+        waits[("crucial", threads)] = _run_crucial(threads, seed)
+        waits[("sns-sqs", threads)] = _run_sns(threads, seed)
+    for threads in crucial_only:
+        waits[("crucial", threads)] = _run_crucial(threads, seed)
+    return BarrierComparison(waits=waits)
+
+
+def report(result: BarrierComparison) -> str:
+    threads = sorted({t for _s, t in result.waits})
+    rows = []
+    for system in ("crucial", "sns-sqs"):
+        row = [system]
+        for t in threads:
+            value = result.waits.get((system, t))
+            row.append(f"{value * 1000:.0f}ms" if value is not None
+                       else "-")
+        rows.append(row)
+    table = render_table(
+        ["system"] + [str(t) for t in threads], rows,
+        title="Fig. 7a - average barrier wait (1s lock-step rounds)")
+    largest = max(t for s, t in result.waits if s == "sns-sqs")
+    ratio = (result.waits[("sns-sqs", largest)]
+             / result.waits[("crucial", largest)])
+    table += (f"\npaper: ~10x faster than SNS+SQS at 320 threads -> "
+              f"measured {ratio:.1f}x at {largest} threads")
+    big = max(t for s, t in result.waits if s == "crucial")
+    table += (f"\npaper: 68ms average at 1800 threads -> measured "
+              f"{result.waits[('crucial', big)] * 1000:.0f}ms at "
+              f"{big} threads")
+    return table

@@ -1,0 +1,170 @@
+"""Fig. 7b: phase breakdown of an iterative task — stages vs barrier.
+
+Approach (a): each iteration launches a *new* stage of cloud threads,
+so every iteration pays invocation + S3 input read.  Approach (b): a
+single stage runs all iterations, synchronized with Crucial's barrier,
+so the input is fetched once.  The paper reports (b) is faster and
+that barrier synchronization time is small because invocations and S3
+reads leave the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import CloudThread, CrucialEnvironment, CyclicBarrier
+from repro.core.runtime import compute, current_environment
+from repro.metrics.report import render_table
+
+PHASES = ("invocation", "s3_read", "compute", "sync")
+INPUT_BYTES = 200 * 10 ** 6  # per-thread input fragment
+COMPUTE_SECONDS = 1.0
+
+
+class _SingleIteration:
+    """One iteration of approach (a): read input, compute, return."""
+
+    def __init__(self, key: str):
+        self.key = key
+
+    def run(self) -> dict:
+        env = current_environment()
+        t0 = env.now
+        env.object_store.get(self.key)
+        t1 = env.now
+        compute(COMPUTE_SECONDS, jitter_sigma=0.01)
+        return {"s3_read": t1 - t0, "compute": env.now - t1}
+
+
+class _AllIterations:
+    """Approach (b): read once, iterate with a barrier."""
+
+    def __init__(self, key: str, run_id: str, thread_id: int,
+                 parties: int, iterations: int):
+        self.key = key
+        self.thread_id = thread_id
+        self.iterations = iterations
+        self.barrier = CyclicBarrier(f"{run_id}/barrier", parties)
+
+    def run(self) -> dict:
+        env = current_environment()
+        t0 = env.now
+        env.object_store.get(self.key)
+        s3_time = env.now - t0
+        compute_time = 0.0
+        sync_time = 0.0
+        for _iteration in range(self.iterations):
+            t1 = env.now
+            compute(COMPUTE_SECONDS, jitter_sigma=0.01)
+            t2 = env.now
+            self.barrier.wait()
+            compute_time += t2 - t1
+            sync_time += env.now - t2
+        return {"s3_read": s3_time, "compute": compute_time,
+                "sync": sync_time}
+
+
+@dataclass
+class BreakdownResult:
+    #: approach -> phase -> total seconds (averaged over threads)
+    phases: dict[str, dict[str, float]]
+    #: per-thread detail for the first two threads of each approach
+    details: dict[str, list[dict]] = field(default_factory=dict)
+    threads: int = 0
+    iterations: int = 0
+
+
+def run(threads: int = 10, iterations: int = 5,
+        seed: int = 10) -> BreakdownResult:
+    phases: dict[str, dict[str, float]] = {}
+    details: dict[str, list[dict]] = {}
+    with CrucialEnvironment(seed=seed, dso_nodes=1) as env:
+        def main():
+            for i in range(threads):
+                env.object_store._objects.pop(f"input-{i}", None)
+            from repro.storage.object_store import _StoredObject
+
+            for i in range(threads):
+                env.object_store._objects[f"input-{i}"] = _StoredObject(
+                    value=b"", nbytes=INPUT_BYTES, put_time=0.0,
+                    visible_at=0.0)
+            env.pre_warm(threads)
+
+            # Approach (a): one stage per iteration.
+            totals_a = {phase: 0.0 for phase in PHASES}
+            details_a: list[dict] = [
+                {phase: 0.0 for phase in PHASES} for _ in range(threads)]
+            for _iteration in range(iterations):
+                stage = [CloudThread(_SingleIteration(f"input-{i}"))
+                         for i in range(threads)]
+                dispatch_start = env.now
+                for thread in stage:
+                    thread.start()
+                for thread in stage:
+                    thread.join()
+                for i, thread in enumerate(stage):
+                    measured = thread.result()
+                    wall = env.now - dispatch_start
+                    invocation = wall - measured["s3_read"] \
+                        - measured["compute"]
+                    for phase, value in (("invocation", invocation),
+                                         ("s3_read", measured["s3_read"]),
+                                         ("compute", measured["compute"]),
+                                         ("sync", 0.0)):
+                        totals_a[phase] += value / threads
+                        details_a[i][phase] += value
+
+            # Approach (b): one stage, barrier-synchronized.
+            stage_start = env.now
+            stage = [
+                CloudThread(_AllIterations(f"input-{i}", "fig7b", i,
+                                           threads, iterations))
+                for i in range(threads)
+            ]
+            for thread in stage:
+                thread.start()
+            for thread in stage:
+                thread.join()
+            totals_b = {phase: 0.0 for phase in PHASES}
+            details_b: list[dict] = []
+            for thread in stage:
+                measured = thread.result()
+                wall = env.now - stage_start
+                invocation = wall - sum(measured.values())
+                detail = {"invocation": invocation, **measured}
+                details_b.append(detail)
+                for phase in PHASES:
+                    totals_b[phase] += detail[phase] / threads
+            phases["per-iteration stages"] = totals_a
+            phases["single stage + barrier"] = totals_b
+            details["per-iteration stages"] = details_a[:2]
+            details["single stage + barrier"] = details_b[:2]
+
+        env.run(main)
+    return BreakdownResult(phases=phases, details=details,
+                           threads=threads, iterations=iterations)
+
+
+def report(result: BreakdownResult) -> str:
+    rows = []
+    for approach, totals in result.phases.items():
+        rows.append([approach]
+                    + [f"{totals[phase]:.2f}s" for phase in PHASES]
+                    + [f"{sum(totals.values()):.2f}s"])
+    table = render_table(
+        ["approach"] + list(PHASES) + ["total"], rows,
+        title=(f"Fig. 7b - iterative task breakdown, "
+               f"{result.threads} threads x {result.iterations} "
+               "iterations"))
+    stages = result.phases["per-iteration stages"]
+    barrier = result.phases["single stage + barrier"]
+    table += (
+        f"\npaper: input fetched once -> S3 time "
+        f"{stages['s3_read']:.2f}s (stages) vs "
+        f"{barrier['s3_read']:.2f}s (barrier)"
+        f"\npaper: barrier sync time is small -> "
+        f"{barrier['sync']:.2f}s of "
+        f"{sum(barrier.values()):.2f}s total"
+        f"\npaper: single stage total is lower -> "
+        f"{sum(barrier.values()):.2f}s vs {sum(stages.values()):.2f}s")
+    return table

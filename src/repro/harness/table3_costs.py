@@ -1,0 +1,91 @@
+"""Table 3: monetary costs of the Spark/Crucial experiments.
+
+Applies the 2019 AWS pricing model to the measured Fig. 4/5 run times:
+Lambda GB-seconds + requests + one r5.2xlarge storage node for
+Crucial; the 11-node EMR cluster for Spark.  Paper shape: costs are
+comparable where Crucial is much faster (k=25); Crucial costs more
+where computation dominates (k=200), because its per-second rate is
+higher (0.28 vs 0.15 cents/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness import fig4_logreg, fig5_kmeans
+from repro.metrics.cost import CostModel, ExperimentCost
+from repro.metrics.report import render_table
+
+#: Table 3 reference values: (total $, iterations $).
+PAPER = {
+    ("k-means k=25", "spark"): (0.246, 0.050),
+    ("k-means k=25", "crucial"): (0.244, 0.057),
+    ("k-means k=200", "spark"): (0.484, 0.288),
+    ("k-means k=200", "crucial"): (0.657, 0.492),
+    ("logistic regression", "spark"): (0.282, 0.111),
+    ("logistic regression", "crucial"): (0.302, 0.154),
+}
+
+
+@dataclass
+class CostsResult:
+    #: (experiment, system) -> ExperimentCost
+    costs: dict[tuple[str, str], ExperimentCost]
+
+
+def run(iterations_logreg: int = 100, iterations_kmeans: int = 10,
+        workers: int = 80, seed: int = 6) -> CostsResult:
+    model = CostModel()
+    costs: dict[tuple[str, str], ExperimentCost] = {}
+
+    kmeans = fig5_kmeans.run(ks=(25, 200), iterations=iterations_kmeans,
+                             workers=workers, seed=seed)
+    for k in (25, 200):
+        label = f"k-means k={k}"
+        costs[(label, "crucial")] = model.crucial_experiment(
+            label,
+            total_seconds=kmeans.total_times[("crucial", k)],
+            iteration_seconds=kmeans.iteration_times[("crucial", k)],
+            functions=workers, memory_mb=2048)
+        costs[(label, "spark")] = model.spark_experiment(
+            label,
+            total_seconds=kmeans.total_times[("spark", k)],
+            iteration_seconds=kmeans.iteration_times[("spark", k)])
+
+    logreg = fig4_logreg.run(iterations=iterations_logreg,
+                             workers=workers, seed=seed)
+    label = "logistic regression"
+    costs[(label, "crucial")] = model.crucial_experiment(
+        label, total_seconds=logreg.crucial_total,
+        iteration_seconds=logreg.crucial_iter,
+        functions=workers, memory_mb=1792)
+    costs[(label, "spark")] = model.spark_experiment(
+        label, total_seconds=logreg.spark_total,
+        iteration_seconds=logreg.spark_iter)
+    return CostsResult(costs=costs)
+
+
+def report(result: CostsResult) -> str:
+    rows = []
+    for (experiment, system), cost in sorted(result.costs.items()):
+        paper_total, paper_iter = PAPER[(experiment, system)]
+        rows.append((experiment, system,
+                     f"{cost.total_seconds:.0f}s",
+                     f"${cost.total_dollars:.3f}",
+                     f"${paper_total:.3f}",
+                     f"${cost.iteration_dollars:.3f}",
+                     f"${paper_iter:.3f}"))
+    table = render_table(
+        ["experiment", "system", "time", "total $", "paper $",
+         "iter $", "paper iter $"],
+        rows, title="Table 3 - monetary costs")
+    k25_cru = result.costs[("k-means k=25", "crucial")].total_dollars
+    k25_spk = result.costs[("k-means k=25", "spark")].total_dollars
+    k200_cru = result.costs[("k-means k=200", "crucial")].total_dollars
+    k200_spk = result.costs[("k-means k=200", "spark")].total_dollars
+    table += (f"\npaper: comparable cost at k=25 -> measured "
+              f"${k25_cru:.3f} vs ${k25_spk:.3f}"
+              f"\npaper: Crucial costlier at k=200 (compute-bound) -> "
+              f"measured ${k200_cru:.3f} vs ${k200_spk:.3f} "
+              f"({k200_cru > k200_spk})")
+    return table

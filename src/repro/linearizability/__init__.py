@@ -1,0 +1,13 @@
+"""Linearizability checking (Wing & Gong) for shared-object histories.
+
+The paper claims its shared objects are linearizable: "concurrent
+method invocations behave as if they were executed by a single thread"
+(Section 3.1).  This package records concurrent histories of proxy
+calls and verifies them against a sequential specification — the test
+suite uses it as a property check on the DSO layer.
+"""
+
+from repro.linearizability.history import HistoryRecorder, Operation
+from repro.linearizability.checker import LinearizabilityChecker
+
+__all__ = ["HistoryRecorder", "Operation", "LinearizabilityChecker"]

@@ -1,0 +1,66 @@
+"""Concurrent-history recording.
+
+An :class:`Operation` is one method invocation with its real-time
+interval ``[invoke, response]`` (virtual time).  Two operations are
+concurrent iff their intervals overlap; linearizability requires a
+total order consistent with interval precedence whose sequential
+execution matches the recorded results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed method invocation."""
+
+    op_id: int
+    thread: str
+    method: str
+    args: tuple
+    result: Any
+    invoke: float
+    response: float
+
+    def precedes(self, other: "Operation") -> bool:
+        """Real-time order: self finished before other started."""
+        return self.response < other.invoke
+
+    def __str__(self) -> str:
+        arguments = ", ".join(repr(a) for a in self.args)
+        return (f"[{self.invoke:.6f},{self.response:.6f}] {self.thread}: "
+                f"{self.method}({arguments}) -> {self.result!r}")
+
+
+@dataclass
+class HistoryRecorder:
+    """Collects operations; wrap proxy calls with :meth:`record`."""
+
+    clock: Callable[[], float]
+    operations: list[Operation] = field(default_factory=list)
+    _ids: itertools.count = field(default_factory=itertools.count)
+
+    def record(self, thread: str, method: str, args: tuple,
+               call: Callable[[], Any]) -> Any:
+        """Execute ``call`` and log it as an operation."""
+        invoke = self.clock()
+        result = call()
+        response = self.clock()
+        self.operations.append(Operation(
+            op_id=next(self._ids), thread=thread, method=method,
+            args=args, result=result, invoke=invoke, response=response))
+        return result
+
+    def add(self, thread: str, method: str, args: tuple, result: Any,
+            invoke: float, response: float) -> None:
+        """Log an operation measured externally."""
+        self.operations.append(Operation(
+            op_id=next(self._ids), thread=thread, method=method,
+            args=args, result=result, invoke=invoke, response=response))
+
+    def clear(self) -> None:
+        self.operations.clear()

@@ -1,0 +1,15 @@
+"""Measurement and reporting: time series, AWS costs, result tables."""
+
+from repro.metrics.recorder import ThroughputTracker, TimeSeries, percentile
+from repro.metrics.cost import CostModel, ExperimentCost
+from repro.metrics.report import comparison_table, render_table
+
+__all__ = [
+    "TimeSeries",
+    "ThroughputTracker",
+    "percentile",
+    "CostModel",
+    "ExperimentCost",
+    "render_table",
+    "comparison_table",
+]

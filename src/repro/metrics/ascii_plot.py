@@ -1,0 +1,44 @@
+"""Tiny ASCII plotting, so figure benchmarks can show *figures*.
+
+Terminal-friendly sparklines and bar charts used by the Fig. 2b and
+Fig. 8 reports (a reproduction of a figure should look like one).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """One-line plot of a series (resampled to ``width`` columns)."""
+    if not values:
+        return ""
+    series = list(values)
+    if width is not None and len(series) > width:
+        step = len(series) / width
+        series = [series[int(i * step)] for i in range(width)]
+    low = min(series)
+    high = max(series)
+    span = high - low or 1.0
+    return "".join(
+        _BARS[1 + int((value - low) / span * (len(_BARS) - 2))]
+        for value in series)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    top = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(value / top * width)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)

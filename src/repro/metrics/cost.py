@@ -1,0 +1,86 @@
+"""The Table 3 monetary-cost model (2019 on-demand AWS prices).
+
+Crucial's bill: Lambda GB-seconds + requests, plus the DSO storage
+instance(s) for the experiment duration.  Spark's bill: the EMR
+cluster (EC2 + EMR surcharge) for the experiment duration.  As in the
+paper, provisioning time is not billed and the free tier is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Config, DEFAULT_CONFIG
+
+
+@dataclass(frozen=True)
+class ExperimentCost:
+    label: str
+    total_seconds: float
+    total_dollars: float
+    iteration_seconds: float
+    iteration_dollars: float
+
+    def row(self) -> tuple:
+        return (self.label, round(self.total_seconds),
+                round(self.total_dollars, 3),
+                round(self.iteration_dollars, 3))
+
+
+class CostModel:
+    def __init__(self, config: Config = DEFAULT_CONFIG):
+        self.prices = config.prices
+
+    # -- Crucial -------------------------------------------------------------------
+
+    def crucial_rate_per_second(self, functions: int, memory_mb: int,
+                                storage_nodes: int = 1) -> float:
+        """$/s while all functions and the DSO node(s) are running.
+
+        With 80 x 1792 MB this is ~0.25 cents/s, with 80 x 2048 MB
+        ~0.28 cents/s — Section 6.2.3's quoted rates.
+        """
+        lambda_rate = (functions * (memory_mb / 1024.0)
+                       * self.prices.lambda_gb_second)
+        storage_rate = (storage_nodes
+                        * self.prices.ec2_r5_2xlarge_hour / 3600.0)
+        return lambda_rate + storage_rate
+
+    def crucial_experiment(self, label: str, total_seconds: float,
+                           iteration_seconds: float, functions: int,
+                           memory_mb: int, storage_nodes: int = 1,
+                           invocations: int | None = None) -> ExperimentCost:
+        rate = self.crucial_rate_per_second(functions, memory_mb,
+                                            storage_nodes)
+        requests = (invocations if invocations is not None
+                    else functions) * self.prices.lambda_per_request
+        return ExperimentCost(
+            label=label,
+            total_seconds=total_seconds,
+            total_dollars=rate * total_seconds + requests,
+            iteration_seconds=iteration_seconds,
+            iteration_dollars=rate * iteration_seconds)
+
+    # -- Spark on EMR -----------------------------------------------------------------
+
+    def spark_rate_per_second(self, worker_nodes: int = 10,
+                              master_nodes: int = 1) -> float:
+        """$/s of the EMR cluster: EC2 + EMR surcharge per node.
+
+        11 m5.2xlarge nodes cost ~0.15 cents/s (Section 6.2.3).
+        """
+        nodes = worker_nodes + master_nodes
+        per_node_hour = (self.prices.ec2_m5_2xlarge_hour
+                         + self.prices.emr_m5_2xlarge_hour)
+        return nodes * per_node_hour / 3600.0
+
+    def spark_experiment(self, label: str, total_seconds: float,
+                         iteration_seconds: float,
+                         worker_nodes: int = 10) -> ExperimentCost:
+        rate = self.spark_rate_per_second(worker_nodes)
+        return ExperimentCost(
+            label=label,
+            total_seconds=total_seconds,
+            total_dollars=rate * total_seconds,
+            iteration_seconds=iteration_seconds,
+            iteration_dollars=rate * iteration_seconds)

@@ -1,0 +1,62 @@
+"""Time-series collection in virtual time."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeSeries:
+    """Scalar samples stamped with virtual time."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def values(self) -> list[float]:
+        return [value for _t, value in self.points]
+
+    def mean(self) -> float:
+        values = self.values()
+        return sum(values) / len(values) if values else 0.0
+
+    def maximum(self) -> float:
+        values = self.values()
+        return max(values) if values else 0.0
+
+
+@dataclass
+class ThroughputTracker:
+    """Counts events into fixed-width virtual-time buckets."""
+
+    bucket_width: float = 1.0
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def record(self, time: float) -> None:
+        bucket = int(time // self.bucket_width)
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+
+    def series(self, start: float, end: float) -> list[float]:
+        """Events/second for each bucket in ``[start, end)``."""
+        first = int(start // self.bucket_width)
+        last = int(end // self.bucket_width)
+        return [self.counts.get(b, 0) / self.bucket_width
+                for b in range(first, last)]
+
+    def rate_between(self, start: float, end: float) -> float:
+        window = self.series(start, end)
+        return sum(window) / len(window) if window else 0.0
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q out of range: {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]

@@ -1,0 +1,54 @@
+"""Plain-text result tables, with paper-vs-measured comparisons.
+
+Every benchmark prints one of these so EXPERIMENTS.md can be assembled
+directly from bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """A fixed-width text table."""
+    table = [list(map(_fmt, headers))] + \
+        [list(map(_fmt, row)) for row in rows]
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(table[0], widths)))
+    lines.append(separator)
+    for row in table[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def comparison_table(title: str,
+                     entries: Sequence[tuple[str, float, float]],
+                     unit: str = "") -> str:
+    """Paper-vs-measured rows with the measured/paper ratio.
+
+    ``entries`` are ``(label, paper_value, measured_value)``.
+    """
+    rows = []
+    for label, paper, measured in entries:
+        ratio = measured / paper if paper else float("nan")
+        rows.append((label, _quantity(paper, unit),
+                     _quantity(measured, unit), f"{ratio:.2f}x"))
+    return render_table(
+        ["experiment", "paper", "measured", "ratio"], rows, title=title)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _quantity(value: float, unit: str) -> str:
+    return f"{value:.4g}{unit}" if unit else f"{value:.4g}"

@@ -1,0 +1,14 @@
+"""Machine-learning workloads (Section 6.2).
+
+The two algorithms the paper evaluates — k-means clustering and
+logistic regression — in both their Crucial form (cloud threads +
+shared objects + barrier) and helpers shared with the Spark baseline.
+Numerics run for real on materialized data; execution time is charged
+from the calibrated cost model at the dataset's *nominal* scale.
+"""
+
+from repro.ml.dataset import MLDataset
+from repro.ml.kmeans import CrucialKMeans
+from repro.ml.logreg import CrucialLogisticRegression
+
+__all__ = ["MLDataset", "CrucialKMeans", "CrucialLogisticRegression"]

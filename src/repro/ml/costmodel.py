@@ -1,0 +1,42 @@
+"""Compute-time model for the ML workloads at nominal scale.
+
+The simulation executes the numerics on small materialized samples;
+the virtual clock instead advances by what the *nominal* (100 GB)
+workload would cost, using the per-operation constants of
+:class:`repro.config.ComputeCosts` (back-derived from Figs. 4 and 5).
+"""
+
+from __future__ import annotations
+
+from repro.config import Config, DEFAULT_CONFIG
+
+
+def kmeans_iteration_cost(nominal_points: int, dims: int, k: int,
+                          config: Config = DEFAULT_CONFIG,
+                          spark: bool = False) -> float:
+    """CPU-seconds (one vCPU) of one k-means assignment+update pass."""
+    cost = nominal_points * dims * k * config.compute.kmeans_point_dim_cluster
+    if spark:
+        cost *= config.compute.spark_compute_inflation
+    return cost
+
+
+def logreg_iteration_cost(nominal_points: int, dims: int,
+                          config: Config = DEFAULT_CONFIG,
+                          spark: bool = False) -> float:
+    """CPU-seconds of one gradient pass over ``nominal_points``."""
+    cost = nominal_points * dims * config.compute.logreg_point_feature
+    if spark:
+        cost *= config.compute.spark_compute_inflation
+    return cost
+
+
+def montecarlo_cost(draws: int, config: Config = DEFAULT_CONFIG) -> float:
+    """CPU-seconds to draw ``draws`` Monte-Carlo points."""
+    return draws * config.compute.montecarlo_draw
+
+
+def inference_cost(config: Config = DEFAULT_CONFIG) -> float:
+    """Client-side CPU-seconds of one k-means inference (distance
+    computations against the full centroid set)."""
+    return config.compute.inference_compute

@@ -1,0 +1,130 @@
+"""The dual-scale dataset (spark-perf stand-in).
+
+The paper trains on 100 GB / 55.6 M points / 100 features split into
+80 S3 partitions.  We cannot materialize that on a laptop, so each
+dataset carries two scales:
+
+* **nominal** — the paper's sizes; drives every *time and cost* model
+  (S3 transfer duration, per-iteration compute);
+* **materialized** — a small, deterministic sample per partition;
+  drives the *numerics* (losses, centroids, convergence).
+
+Both the Crucial workers and the Spark executors read the same
+materialized partitions, so their models agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import Config, DEFAULT_CONFIG
+from repro.ml import math as mlmath
+from repro.storage.object_store import ObjectStore
+
+
+@dataclass(frozen=True)
+class PartitionInfo:
+    key: str
+    nominal_points: int
+    nominal_bytes: int
+
+
+class MLDataset:
+    """A partitioned dataset with nominal and materialized scales."""
+
+    def __init__(self, kind: str, partitions: int = 80,
+                 materialized_points: int = 40_000,
+                 config: Config = DEFAULT_CONFIG, seed: int = 12345,
+                 features: int | None = None,
+                 nominal_points: int | None = None,
+                 nominal_bytes: int | None = None):
+        if kind not in ("kmeans", "logreg"):
+            raise ValueError(f"unknown dataset kind {kind!r}")
+        if partitions <= 0:
+            raise ValueError(f"need positive partitions: {partitions}")
+        spec = config.dataset
+        self.kind = kind
+        self.partitions = partitions
+        self.features = features if features is not None else spec.features
+        self.nominal_points = (nominal_points if nominal_points is not None
+                               else spec.nominal_points)
+        self.nominal_bytes = (nominal_bytes if nominal_bytes is not None
+                              else spec.nominal_bytes)
+        self.materialized_points = materialized_points
+        self.seed = seed
+        self._cache: dict[int, object] = {}
+
+    # -- nominal bookkeeping -----------------------------------------------------
+
+    @property
+    def nominal_points_per_partition(self) -> int:
+        return self.nominal_points // self.partitions
+
+    @property
+    def nominal_bytes_per_partition(self) -> int:
+        return self.nominal_bytes // self.partitions
+
+    def partition_info(self, index: int) -> PartitionInfo:
+        if not 0 <= index < self.partitions:
+            raise IndexError(f"partition {index} out of range")
+        return PartitionInfo(
+            key=f"datasets/{self.kind}/{self.seed}/part-{index:05d}",
+            nominal_points=self.nominal_points_per_partition,
+            nominal_bytes=self.nominal_bytes_per_partition)
+
+    # -- materialization ----------------------------------------------------------
+
+    def materialize(self, index: int):
+        """Deterministically generate partition ``index``'s sample.
+
+        k-means: an ``(m, features)`` array.  logreg: ``(X, y)``.
+        """
+        if index in self._cache:
+            return self._cache[index]
+        rng = np.random.Generator(np.random.PCG64(
+            np.random.SeedSequence([self.seed, index])))
+        m = self.materialized_points // self.partitions
+        m = max(m, 50)
+        if self.kind == "kmeans":
+            data = mlmath.generate_kmeans_points(rng, m, self.features)
+        else:
+            # All partitions sample one underlying model: the true
+            # weights derive from the dataset seed alone.
+            weights_rng = np.random.Generator(np.random.PCG64(
+                np.random.SeedSequence([self.seed, 0x7777])))
+            true_weights = weights_rng.standard_normal(self.features)
+            data = mlmath.generate_labeled_points(rng, m, self.features,
+                                                  true_weights)
+        self._cache[index] = data
+        return data
+
+    def upload(self, store: ObjectStore) -> list[PartitionInfo]:
+        """PUT all partitions to the object store at nominal size.
+
+        Must run inside a simulated thread (charges S3 latencies).
+        """
+        infos = []
+        for index in range(self.partitions):
+            info = self.partition_info(index)
+            store.put(info.key, self.materialize(index),
+                      nbytes=info.nominal_bytes)
+            infos.append(info)
+        return infos
+
+    def install(self, store: ObjectStore) -> list[PartitionInfo]:
+        """Place partitions in the store *without* charging upload
+        time (the dataset pre-exists the experiment, as in the paper).
+        """
+        from repro.storage.object_store import _StoredObject
+
+        infos = []
+        for index in range(self.partitions):
+            info = self.partition_info(index)
+            store._objects[info.key] = _StoredObject(
+                value=self.materialize(index),
+                nbytes=info.nominal_bytes,
+                put_time=0.0, visible_at=0.0)
+            infos.append(info)
+        return infos

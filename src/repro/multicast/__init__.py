@@ -1,0 +1,6 @@
+"""Total-order multicast and view synchrony (the JGroups role)."""
+
+from repro.multicast.skeen import SkeenMulticast
+from repro.multicast.view_synchrony import ViewSynchronousGroup
+
+__all__ = ["SkeenMulticast", "ViewSynchronousGroup"]

@@ -1,0 +1,6 @@
+"""Network substrate: latency models, links, partitions, transfers."""
+
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+
+__all__ = ["LatencyModel", "Network"]

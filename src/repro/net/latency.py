@@ -1,0 +1,52 @@
+"""Latency models for simulated services and links.
+
+Every calibrated latency in :mod:`repro.config` is expressed as a
+``LatencyModel``: a base one-way/round-trip cost, a bandwidth term for
+payload size, and optional lognormal jitter.  Lognormal matches the
+right-skewed tail every cloud measurement study reports, and is the
+reason e.g. the S3-polling bars of Figure 6 show high variability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Sampled delay = ``base * jitter + nbytes / bandwidth``.
+
+    ``jitter`` is lognormal with median 1 and shape ``sigma``; with
+    ``sigma == 0`` the model is deterministic.  ``bandwidth`` is in
+    bytes/second; ``None`` means payload size is free (already folded
+    into ``base``).
+    """
+
+    base: float
+    sigma: float = 0.0
+    bandwidth: float | None = None
+
+    def sample(self, rng: np.random.Generator, nbytes: int = 0) -> float:
+        delay = self.base
+        if self.sigma > 0.0:
+            delay *= float(rng.lognormal(mean=0.0, sigma=self.sigma))
+        if self.bandwidth is not None and nbytes > 0:
+            delay += nbytes / self.bandwidth
+        return delay
+
+    def mean(self, nbytes: int = 0) -> float:
+        """Expected delay (lognormal mean = exp(sigma^2 / 2))."""
+        delay = self.base * math.exp(self.sigma ** 2 / 2.0)
+        if self.bandwidth is not None and nbytes > 0:
+            delay += nbytes / self.bandwidth
+        return delay
+
+    def scaled(self, factor: float) -> "LatencyModel":
+        return LatencyModel(self.base * factor, self.sigma, self.bandwidth)
+
+
+#: Zero-cost model (co-located processes).
+ZERO = LatencyModel(0.0)

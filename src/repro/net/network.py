@@ -1,0 +1,159 @@
+"""A point-to-point message-passing network with failures.
+
+Endpoints register by name.  A *transfer* charges the calling simulated
+thread the sampled link latency; reachability honours endpoint
+liveness and the current partition set.  Payloads cross the network by
+``pickle`` round-trip (see :func:`ship`) so no mutable Python reference
+leaks between simulated nodes — the discipline that lets the DSO layer
+legitimately claim distributed-memory semantics.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.errors import NetworkError, SerializationError
+from repro.net.latency import LatencyModel
+from repro.simulation.kernel import Kernel, current_thread
+
+
+def ship(value: Any) -> Any:
+    """Copy ``value`` as if it were serialized onto the wire.
+
+    Raises :class:`SerializationError` for unpicklable values, exactly
+    as Crucial requires shared objects and method arguments to be
+    serializable for marshalling.
+    """
+    try:
+        return pickle.loads(pickle.dumps(value))
+    except Exception as exc:  # pickle raises a zoo of types
+        raise SerializationError(f"value is not serializable: {exc!r}") from exc
+
+
+def payload_size(value: Any) -> int:
+    """Wire size of a value, in bytes (its pickle length)."""
+    try:
+        return len(pickle.dumps(value))
+    except Exception:
+        return 0
+
+
+class Endpoint:
+    """A network-attached process (server node, client, service)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.alive = True
+        #: Incremented on every crash; in-flight calls compare epochs to
+        #: detect that the server died under them.
+        self.epoch = 0
+
+    def crash(self) -> None:
+        self.alive = False
+        self.epoch += 1
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Endpoint {self.name} {state} epoch={self.epoch}>"
+
+
+class Network:
+    """Latency-modelled connectivity between named endpoints."""
+
+    def __init__(self, kernel: Kernel, default_latency: LatencyModel,
+                 copy_messages: bool = True, name: str = "net"):
+        self.kernel = kernel
+        self.default_latency = default_latency
+        self.copy_messages = copy_messages
+        self.name = name
+        self._endpoints: dict[str, Endpoint] = {}
+        self._links: dict[tuple[str, str], LatencyModel] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self._rng = kernel.rng.stream(f"net.{name}")
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, name: str) -> Endpoint:
+        if name in self._endpoints:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        endpoint = Endpoint(name)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {name!r}") from None
+
+    def ensure_endpoint(self, name: str) -> Endpoint:
+        """Register ``name`` if unknown; idempotent (used by clients)."""
+        existing = self._endpoints.get(name)
+        if existing is not None:
+            return existing
+        return self.register(name)
+
+    def set_link(self, src: str, dst: str, model: LatencyModel,
+                 symmetric: bool = True) -> None:
+        """Override the latency model of one link."""
+        self._links[(src, dst)] = model
+        if symmetric:
+            self._links[(dst, src)] = model
+
+    def link(self, src: str, dst: str) -> LatencyModel:
+        return self._links.get((src, dst), self.default_latency)
+
+    # -- failures -------------------------------------------------------------
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Disconnect every pair across the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        self._partitions.clear()
+
+    def reachable(self, src: str, dst: str) -> bool:
+        if src == dst:
+            return True
+        src_ep = self.endpoint(src)
+        dst_ep = self.endpoint(dst)
+        if not (src_ep.alive and dst_ep.alive):
+            return False
+        return frozenset((src, dst)) not in self._partitions
+
+    # -- data plane -------------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, value: Any = None,
+                 nbytes: int | None = None) -> Any:
+        """Move ``value`` from ``src`` to ``dst``, charging link latency.
+
+        Blocks the calling simulated thread for the sampled delay and
+        returns the shipped (copied) value.  Raises
+        :class:`NetworkError` if the destination is unreachable at send
+        time *or* crashes mid-flight.
+        """
+        if not self.reachable(src, dst):
+            raise NetworkError(f"{dst!r} unreachable from {src!r}")
+        if nbytes is None:
+            nbytes = payload_size(value) if self.copy_messages else 0
+        shipped = ship(value) if self.copy_messages else value
+        delay = self.link(src, dst).sample(self._rng, nbytes)
+        dst_epoch = self.endpoint(dst).epoch
+        current_thread().sleep(delay)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if not self.reachable(src, dst) or self.endpoint(dst).epoch != dst_epoch:
+            raise NetworkError(f"{dst!r} failed during transfer from {src!r}")
+        return shipped
+
+    def delay(self, src: str, dst: str, nbytes: int = 0) -> float:
+        """Sample a link delay without blocking (for timers)."""
+        return self.link(src, dst).sample(self._rng, nbytes)

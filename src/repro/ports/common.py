@@ -1,0 +1,147 @@
+"""Single-machine counterparts of Crucial's abstractions.
+
+These mirror the Crucial API exactly — key-addressed shared objects
+and thread objects — but live in the local process: ``LocalThread``
+spawns an in-process thread, and the "shared" objects are plain
+in-memory instances found through a per-process registry.  Keeping the
+APIs congruent is what makes the Table 4 diffs as small as the paper
+reports: porting an application is (mostly) swapping these imports for
+the Crucial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.simulation.kernel import current_kernel
+from repro.simulation.primitives import Condition
+
+
+_registry: dict[tuple[str, str], Any] = {}
+
+
+def reset_registry() -> None:
+    """Forget every local shared object (call between runs)."""
+    _registry.clear()
+
+
+def _lookup(kind: str, key: str, factory) -> Any:
+    ident = (kind, key)
+    if ident not in _registry:
+        _registry[ident] = factory()
+    return _registry[ident]
+
+
+def local_shared(cls: type, key: str, *args: Any, **kwargs: Any) -> Any:
+    """The POJO twin of :func:`repro.core.shared`: a plain instance.
+
+    ``persistent``/``rf`` are accepted and ignored (no replication in
+    one process).
+    """
+    kwargs.pop("persistent", None)
+    kwargs.pop("rf", None)
+    return _lookup(cls.__name__, key, lambda: cls(*args, **kwargs))
+
+
+class LocalThread:
+    """``java.lang.Thread``: runs a Runnable in-process."""
+
+    def __init__(self, runnable: Any, name: str | None = None):
+        self.runnable = runnable
+        self.name = name
+        self._thread = None
+
+    def start(self) -> "LocalThread":
+        target = getattr(self.runnable, "run", self.runnable)
+        self._thread = current_kernel().spawn(target, name=self.name)
+        return self
+
+    def join(self) -> None:
+        self._thread.join()
+
+    def result(self) -> Any:
+        return self._thread.result()
+
+
+class _LocalAtomic:
+    def __init__(self, value=0):
+        self.value = value
+
+    def get(self):
+        return self.value
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def add_and_get(self, delta):
+        self.value += delta
+        return self.value
+
+    def increment_and_get(self):
+        return self.add_and_get(1)
+
+    def compare_and_set(self, expected, update) -> bool:
+        if self.value == expected:
+            self.value = update
+            return True
+        return False
+
+
+class LocalAtomicLong:
+    """Key-addressed local counter, API-identical to AtomicLong."""
+
+    def __init__(self, key: str, initial: int = 0, **_ignored):
+        self._cell = _lookup("AtomicLong", key,
+                             lambda: _LocalAtomic(initial))
+
+    def get(self):
+        return self._cell.get()
+
+    def set(self, value) -> None:
+        self._cell.set(value)
+
+    def add_and_get(self, delta):
+        return self._cell.add_and_get(delta)
+
+    def increment_and_get(self):
+        return self._cell.increment_and_get()
+
+    def compare_and_set(self, expected, update) -> bool:
+        return self._cell.compare_and_set(expected, update)
+
+
+class LocalAtomicInt(LocalAtomicLong):
+    pass
+
+
+class _BarrierState:
+    def __init__(self, parties: int):
+        self.parties = parties
+        self.count = 0
+        self.generation = 0
+        self.condition = Condition(current_kernel())
+
+
+class LocalCyclicBarrier:
+    """Key-addressed in-process cyclic barrier (java.util.concurrent)."""
+
+    def __init__(self, key: str, parties: int, **_ignored):
+        self._state = _lookup("CyclicBarrier", key,
+                              lambda: _BarrierState(parties))
+
+    def wait(self) -> int:
+        state = self._state
+        with state.condition:
+            generation = state.generation
+            state.count += 1
+            index = state.parties - state.count
+            if state.count == state.parties:
+                state.count = 0
+                state.generation += 1
+                state.condition.notify_all()
+                return index
+            while generation == state.generation:
+                state.condition.wait()
+            return index
+
+    await_ = wait

@@ -1,0 +1,62 @@
+"""k-means clustering — single-machine, multi-threaded (Listing 2)."""
+
+import numpy as np
+
+from repro.core.runtime import compute, current_environment
+from repro.ml import math as mlmath
+from repro.ml.costmodel import kmeans_iteration_cost
+from repro.ports.kmeans_objects import GlobalCentroids, GlobalDelta
+from repro.ports.common import LocalAtomicInt as AtomicInt
+from repro.ports.common import LocalCyclicBarrier as CyclicBarrier
+from repro.ports.common import LocalThread as Thread
+from repro.ports.common import local_shared as shared
+
+POINTS_PER_WORKER = 400
+NOMINAL_POINTS = 200_000
+
+
+class KMeans:
+    """The Runnable of Listing 2."""
+
+    def __init__(self, worker_id: int, parties: int, k: int, dims: int,
+                 iterations: int, run_id: str):
+        self.worker_id = worker_id
+        self.k = k
+        self.dims = dims
+        self.iterations = iterations
+        self.centroids = shared(GlobalCentroids, f"{run_id}/centroids",
+                                k, dims)
+        self.global_delta = shared(GlobalDelta, f"{run_id}/delta")
+        self.iteration_counter = AtomicInt(f"{run_id}/iterations")
+        self.barrier = CyclicBarrier(f"{run_id}/barrier", parties)
+
+    def load_dataset_fragment(self) -> np.ndarray:
+        rng = np.random.Generator(np.random.PCG64(self.worker_id))
+        return mlmath.generate_kmeans_points(rng, POINTS_PER_WORKER,
+                                             self.dims)
+
+    def run(self) -> None:
+        env = current_environment()
+        points = self.load_dataset_fragment()
+        for iteration in range(self.iterations):
+            correct = self.centroids.get_correct_coordinates()
+            sums, counts, _cost = mlmath.kmeans_partial(points, correct)
+            compute(kmeans_iteration_cost(NOMINAL_POINTS, self.dims,
+                                          self.k, env.config))
+            self.centroids.update(sums, counts)
+            if self.barrier.wait() == 0:
+                self.global_delta.update(self.centroids.advance())
+                self.iteration_counter.compare_and_set(iteration,
+                                                       iteration + 1)
+            self.barrier.wait()
+
+
+def run_kmeans(workers: int, k: int = 4, dims: int = 8,
+               iterations: int = 3, run_id: str = "kmeans") -> list[float]:
+    threads = [Thread(KMeans(i, workers, k, dims, iterations, run_id))
+               for i in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return shared(GlobalDelta, f"{run_id}/delta").get_history()

@@ -1,0 +1,53 @@
+"""The k-means shared objects, written once for both variants.
+
+The paper's point, made literal: "the code of the objects used in the
+POJO solution is not changed" when moving to Crucial — these classes
+run in-process in the local variant and inside the DSO layer in the
+serverless one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml import math as mlmath
+
+
+class GlobalCentroids:
+    """All k centroids with in-place partial aggregation."""
+
+    def __init__(self, k: int, dims: int, seed: int = 17):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        self.coords = mlmath.init_centroids(rng, k, dims)
+        self.acc_sums = np.zeros_like(self.coords)
+        self.acc_counts = np.zeros(k, dtype=np.int64)
+
+    def get_correct_coordinates(self) -> np.ndarray:
+        return self.coords
+
+    def update(self, sums: np.ndarray, counts: np.ndarray) -> None:
+        self.acc_sums += sums
+        self.acc_counts += counts
+
+    def advance(self) -> float:
+        self.coords, delta = mlmath.kmeans_update(
+            self.acc_sums, self.acc_counts, self.coords)
+        self.acc_sums[:] = 0.0
+        self.acc_counts[:] = 0
+        return delta
+
+
+class GlobalDelta:
+    """The convergence criterion."""
+
+    def __init__(self):
+        self.history: list[float] = []
+
+    def update(self, delta: float) -> None:
+        self.history.append(delta)
+
+    def last(self) -> float:
+        return self.history[-1] if self.history else float("inf")
+
+    def get_history(self) -> list[float]:
+        return list(self.history)

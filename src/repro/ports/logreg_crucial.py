@@ -1,0 +1,59 @@
+"""Logistic regression with SGD — serverless, with Crucial."""
+
+import numpy as np
+
+from repro.core.runtime import compute, current_environment
+from repro.ml import math as mlmath
+from repro.ml.costmodel import logreg_iteration_cost
+from repro.ports.logreg_objects import GlobalWeights
+from repro.core.sync import CyclicBarrier
+from repro.core.cloud_thread import CloudThread as Thread
+from repro.core.shared import shared
+
+POINTS_PER_WORKER = 500
+NOMINAL_POINTS = 200_000
+
+
+class LogisticRegression:
+    """One SGD worker."""
+
+    def __init__(self, worker_id: int, parties: int, dims: int,
+                 iterations: int, run_id: str):
+        self.worker_id = worker_id
+        self.dims = dims
+        self.iterations = iterations
+        self.weights = shared(GlobalWeights, f"{run_id}/weights", dims)
+        self.barrier = CyclicBarrier(f"{run_id}/barrier", parties)
+
+    def load_dataset_fragment(self):
+        rng = np.random.Generator(np.random.PCG64(self.worker_id))
+        return mlmath.generate_labeled_points(rng, POINTS_PER_WORKER,
+                                              self.dims)
+
+    def run(self) -> None:
+        env = current_environment()
+        features, labels = self.load_dataset_fragment()
+        for _iteration in range(self.iterations):
+            weights = self.weights.get()
+            gradient, loss, count = mlmath.logreg_partial(
+                features, labels, weights)
+            compute(logreg_iteration_cost(NOMINAL_POINTS, self.dims,
+                                          env.config))
+            self.weights.update(gradient, loss, count)
+            if self.barrier.wait() == 0:
+                self.weights.advance()
+            self.barrier.wait()
+
+
+def run_logreg(workers: int, dims: int = 10, iterations: int = 5,
+               run_id: str = "logreg") -> list[float]:
+    threads = [
+        Thread(LogisticRegression(i, workers, dims, iterations, run_id))
+        for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return shared(GlobalWeights, f"{run_id}/weights",
+                  dims).get_loss_history()

@@ -1,0 +1,43 @@
+"""The logistic-regression shared object, written once (see
+kmeans_objects: identical object code in both variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml import math as mlmath
+
+
+class GlobalWeights:
+    """The shared weight vector with in-place gradient aggregation."""
+
+    def __init__(self, dims: int, learning_rate: float = 0.5):
+        self.weights = np.zeros(dims)
+        self.learning_rate = learning_rate
+        self.acc_gradient = np.zeros(dims)
+        self.acc_loss = 0.0
+        self.acc_count = 0
+        self.loss_history: list[float] = []
+
+    def get(self) -> np.ndarray:
+        return self.weights
+
+    def update(self, gradient: np.ndarray, loss: float,
+               count: int) -> None:
+        self.acc_gradient += gradient
+        self.acc_loss += loss
+        self.acc_count += count
+
+    def advance(self) -> float:
+        mean_loss = self.acc_loss / max(self.acc_count, 1)
+        self.weights = mlmath.sgd_step(self.weights, self.acc_gradient,
+                                       self.acc_count,
+                                       self.learning_rate)
+        self.loss_history.append(mean_loss)
+        self.acc_gradient[:] = 0.0
+        self.acc_loss = 0.0
+        self.acc_count = 0
+        return mean_loss
+
+    def get_loss_history(self) -> list[float]:
+        return list(self.loss_history)

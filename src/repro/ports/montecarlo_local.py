@@ -1,0 +1,38 @@
+"""Monte Carlo pi estimation — single-machine, multi-threaded."""
+
+import math
+
+import numpy as np
+
+from repro.core.runtime import compute, current_environment
+from repro.ml.costmodel import montecarlo_cost
+from repro.ports.common import LocalAtomicLong as AtomicLong
+from repro.ports.common import LocalThread as Thread
+
+ITERATIONS = 10_000_000
+
+
+class PiEstimator:
+    """The Runnable of Listing 1."""
+
+    def __init__(self, seed: int, counter_key: str = "counter"):
+        self.seed = seed
+        self.counter = AtomicLong(counter_key)
+
+    def run(self) -> None:
+        env = current_environment()
+        rng = np.random.Generator(np.random.PCG64(self.seed))
+        count = int(rng.binomial(ITERATIONS, math.pi / 4.0))
+        compute(montecarlo_cost(ITERATIONS, env.config))
+        self.counter.add_and_get(count)
+
+
+def estimate_pi(n_threads: int, counter_key: str = "counter") -> float:
+    threads = [Thread(PiEstimator(i, counter_key))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = AtomicLong(counter_key).get()
+    return 4.0 * total / (n_threads * ITERATIONS)

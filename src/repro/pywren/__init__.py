@@ -1,0 +1,14 @@
+"""A minimal PyWren: the paper's baseline serverless framework.
+
+PyWren (Jonas et al., SoCC '17 — the paper's reference [25]) maps a
+Python function over inputs by launching one cloud function per input
+and passing results through object storage: each invocation pickles
+its return value into S3, and the client *polls* storage for the
+result keys.  This storage-mediated, poll-based pattern is exactly
+what Sections 1 and 6.3.1 contrast Crucial's fine-grained state and
+synchronization against.
+"""
+
+from repro.pywren.executor import ALL_COMPLETED, ANY_COMPLETED, PyWrenExecutor
+
+__all__ = ["PyWrenExecutor", "ALL_COMPLETED", "ANY_COMPLETED"]

@@ -1,0 +1,134 @@
+"""The PyWren execution model over the simulated cloud.
+
+``map(fn, args)`` fires one asynchronous function invocation per
+argument; every invocation writes its (pickled) result to the object
+store under a run-scoped key; ``wait``/``get_result`` poll the store's
+*listing* until results appear — inheriting S3's latency and its
+eventually-consistent visibility, which is why PyWren-style
+synchronization is slow and variable (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import NoSuchKeyError
+from repro.faas.platform import FaasPlatform, FunctionContext
+from repro.storage.object_store import ObjectStore
+
+ALL_COMPLETED = "ALL_COMPLETED"
+ANY_COMPLETED = "ANY_COMPLETED"
+
+#: PyWren's storage layout: one object per invocation result.
+_RESULT_PREFIX = "pywren.jobs"
+
+
+@dataclass
+class ResponseFuture:
+    """A handle to one invocation's storage-mediated result."""
+
+    key: str
+    store: ObjectStore
+    _value: Any = field(default=None, repr=False)
+    _fetched: bool = False
+
+    def done(self) -> bool:
+        """One polling round trip (listing-consistent, like S3)."""
+        return self._fetched or self.store.exists(self.key)
+
+    def result(self) -> Any:
+        """Fetch the result, polling until it is visible."""
+        from repro.simulation.thread import sleep
+
+        if self._fetched:
+            return self._value
+        while True:
+            try:
+                value = self.store.get(self.key)
+                break
+            except NoSuchKeyError:
+                sleep(1.0)  # PyWren's poll interval
+        self._value = value
+        self._fetched = True
+        return value
+
+
+class _PyWrenRunner:
+    """The generic function: run ``fn(arg)``, store the result."""
+
+    def __init__(self, executor: "PyWrenExecutor"):
+        self.executor = executor
+
+    def __call__(self, ctx: FunctionContext, payload: Any) -> None:
+        fn, arg, key = payload
+        result = fn(arg)
+        self.executor.store.put(key, result)
+
+
+class PyWrenExecutor:
+    """``pywren.default_executor()``, simulated."""
+
+    _runner_ids = itertools.count()
+
+    def __init__(self, platform: FaasPlatform, store: ObjectStore,
+                 invoker: str = "client", memory_mb: int = 1792,
+                 run_id: str | None = None):
+        self.platform = platform
+        self.store = store
+        self.invoker = invoker
+        self.run_id = run_id or f"run-{next(self._runner_ids)}"
+        self.function_name = f"pywren-runner-{self.run_id}"
+        platform.deploy(self.function_name, _PyWrenRunner(self),
+                        memory_mb=memory_mb)
+        self._calls = itertools.count()
+
+    # -- API (mirrors pywren's) ------------------------------------------------
+
+    def call_async(self, fn: Callable[[Any], Any],
+                   arg: Any) -> ResponseFuture:
+        """Invoke ``fn(arg)`` in one cloud function."""
+        call_id = next(self._calls)
+        key = f"{_RESULT_PREFIX}/{self.run_id}/{call_id:05d}/result"
+        self.platform.invoke_async(self.invoker, self.function_name,
+                                   (fn, arg, key))
+        return ResponseFuture(key=key, store=self.store)
+
+    def map(self, fn: Callable[[Any], Any],
+            args: Sequence[Any]) -> list[ResponseFuture]:
+        """One invocation per argument (the embarrassingly parallel
+        pattern PyWren is built for)."""
+        return [self.call_async(fn, arg) for arg in args]
+
+    def wait(self, futures: Sequence[ResponseFuture],
+             return_when: str = ALL_COMPLETED,
+             poll_interval: float = 1.0,
+             ) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
+        """Poll storage until futures complete (S3 listing semantics).
+
+        Returns ``(done, pending)``.
+        """
+        from repro.simulation.thread import sleep
+
+        if return_when not in (ALL_COMPLETED, ANY_COMPLETED):
+            raise ValueError(f"unknown return_when {return_when!r}")
+        pending = list(futures)
+        done: list[ResponseFuture] = []
+        while pending:
+            still_pending = []
+            for future in pending:
+                if future.done():
+                    done.append(future)
+                else:
+                    still_pending.append(future)
+            pending = still_pending
+            if not pending or (return_when == ANY_COMPLETED and done):
+                break
+            sleep(poll_interval)
+        return done, pending
+
+    def get_result(self,
+                   futures: Sequence[ResponseFuture]) -> list[Any]:
+        """Block for and collect every future's value, in order."""
+        return [future.result() for future in futures]

@@ -1,0 +1,5 @@
+"""Request/response RPC between simulated endpoints."""
+
+from repro.rpc.server import RpcServer, ServerCall
+
+__all__ = ["RpcServer", "ServerCall"]

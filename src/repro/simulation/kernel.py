@@ -1,0 +1,265 @@
+"""The discrete-event kernel: a virtual clock plus a wakeup heap.
+
+The kernel runs in the host thread (e.g. the pytest process).  Simulated
+threads are real Python threads, but the kernel wakes exactly one at a
+time and waits for it to block on a simulation primitive before
+advancing the clock, so execution is effectively single-threaded and —
+given seeded RNGs — fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.errors import DeadlockError, NotInSimThread, SimulationError
+from repro.simulation.rng import RngRegistry
+
+_context = threading.local()
+
+
+def current_kernel() -> "Kernel":
+    """Return the kernel driving the calling simulated thread."""
+    kernel = getattr(_context, "kernel", None)
+    if kernel is None:
+        raise NotInSimThread("no simulation kernel in this context")
+    return kernel
+
+
+def current_thread() -> "SimThread":
+    """Return the simulated thread executing the caller."""
+    thread = getattr(_context, "thread", None)
+    if thread is None:
+        raise NotInSimThread("not running inside a simulated thread")
+    return thread
+
+
+def in_sim_thread() -> bool:
+    """True when the caller runs inside a simulated thread."""
+    return getattr(_context, "thread", None) is not None
+
+
+class Wakeup:
+    """A scheduled resumption of a simulated thread.
+
+    ``value`` is handed to the thread as the result of its suspension,
+    letting primitives distinguish e.g. a timeout from a notification.
+    """
+
+    __slots__ = ("thread", "value", "cancelled", "time")
+
+    def __init__(self, thread: "SimThread", value: Any, time: float):
+        self.thread = thread
+        self.value = value
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Timer:
+    """A scheduled callback executed in kernel context (non-blocking)."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, callback: Callable[[], None], time: float):
+        self.callback = callback
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Kernel:
+    """Virtual-time scheduler for simulated threads and timers."""
+
+    def __init__(self, seed: int = 0, name: str = "sim"):
+        self.name = name
+        self.rng = RngRegistry(seed)
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, object]] = []
+        self._threads: set = set()  # live SimThreads
+        self._running = None  # SimThread currently executing
+        self._control = threading.Event()  # thread -> kernel handshake
+        self._closed = False
+        self._failed: list = []  # threads that died with an exception
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule_wakeup(self, thread, delay: float, value: Any = None) -> Wakeup:
+        """Schedule ``thread`` to resume after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        wakeup = Wakeup(thread, value, self._now + delay)
+        heapq.heappush(self._heap, (wakeup.time, next(self._seq), wakeup))
+        thread._pending.add(wakeup)
+        return wakeup
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` in kernel context after ``delay`` seconds.
+
+        The callback must not block on simulation primitives; spawn a
+        thread for blocking work.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        timer = Timer(callback, self._now + delay)
+        heapq.heappush(self._heap, (timer.time, next(self._seq), timer))
+        return timer
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        return self.call_later(max(0.0, when - self._now), callback)
+
+    def spawn(self, target: Callable[..., Any], *args, name: str | None = None,
+              daemon: bool = False, **kwargs):
+        """Create and start a simulated thread running ``target``."""
+        from repro.simulation.thread import SimThread
+
+        thread = SimThread(self, target, args=args, kwargs=kwargs,
+                           name=name, daemon=daemon)
+        thread.start()
+        return thread
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Dispatch events until the heap drains or ``until`` is reached.
+
+        Raises :class:`DeadlockError` if the heap drains while
+        non-daemon threads remain blocked.
+        """
+        self._check_host_context()
+        while self._heap:
+            time, _seq, item = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            if getattr(item, "cancelled", False):
+                continue
+            self._now = time
+            if isinstance(item, Timer):
+                item.callback()
+            else:
+                self._dispatch(item)
+        self._detect_deadlock()
+
+    def run_until(self, predicate: Callable[[], bool],
+                  limit: float | None = None) -> None:
+        """Dispatch events until ``predicate()`` holds."""
+        self._check_host_context()
+        while not predicate():
+            if not self._heap:
+                self._detect_deadlock()
+                if not predicate():
+                    raise SimulationError(
+                        "event queue drained before condition was met")
+                return
+            time, _seq, item = heapq.heappop(self._heap)
+            if getattr(item, "cancelled", False):
+                continue
+            if limit is not None and time > limit:
+                self._now = limit
+                raise SimulationError(
+                    f"condition not met by virtual time limit {limit}")
+            self._now = time
+            if isinstance(item, Timer):
+                item.callback()
+            else:
+                self._dispatch(item)
+
+    def run_main(self, target: Callable[..., Any], *args, **kwargs) -> Any:
+        """Run ``target`` as the client application to completion.
+
+        Returns the target's return value; re-raises its exception.
+        Other (background) threads keep their state and may be resumed
+        by further ``run`` calls.
+        """
+        thread = self.spawn(target, *args, name="main", **kwargs)
+        self.run_until(lambda: thread.done)
+        return thread.result()
+
+    def _dispatch(self, wakeup: Wakeup) -> None:
+        thread = wakeup.thread
+        thread._pending.discard(wakeup)
+        if thread.done:
+            return
+        self._running = thread
+        thread._wake_value = wakeup.value
+        thread._resume.set()
+        self._control.wait()
+        self._control.clear()
+        self._running = None
+
+    def _detect_deadlock(self) -> None:
+        blocked = [t.name for t in self._threads if not t.daemon and not t.done]
+        if blocked:
+            raise DeadlockError(blocked)
+
+    def _check_host_context(self) -> None:
+        if in_sim_thread():
+            raise SimulationError(
+                "Kernel.run() must be called from the host thread, "
+                "not from inside a simulated thread")
+        if self._closed:
+            raise SimulationError("kernel is closed")
+
+    # -- teardown ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down every live simulated thread and seal the kernel."""
+        if self._closed:
+            return
+        self._closed = True
+        for thread in list(self._threads):
+            thread._shutdown = True
+        # Wake blocked threads one at a time so each can unwind.
+        for thread in list(self._threads):
+            if thread.done:
+                continue
+            self._running = thread
+            thread._resume.set()
+            self._control.wait()
+            self._control.clear()
+            self._running = None
+        self._heap.clear()
+        self._threads.clear()
+
+    def __enter__(self) -> "Kernel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- bookkeeping used by SimThread -------------------------------------
+
+    def _register(self, thread) -> None:
+        self._threads.add(thread)
+
+    def _unregister(self, thread) -> None:
+        self._threads.discard(thread)
+        if thread.exception is not None and not thread._observed:
+            self._failed.append(thread)
+
+    @property
+    def failed_threads(self) -> Iterable:
+        """Threads that died with an unobserved exception."""
+        return tuple(self._failed)
+
+
+def set_context(kernel: Kernel | None, thread) -> None:
+    """Install the (kernel, thread) pair for the calling real thread."""
+    _context.kernel = kernel
+    _context.thread = thread

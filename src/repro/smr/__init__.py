@@ -1,0 +1,17 @@
+"""State machine replication over view-synchronous total order.
+
+The full Section 4.1 protocol stack, message-driven: operations on a
+replicated object are disseminated with Skeen's total-order multicast
+inside a view-synchronous group; every replica applies the same
+sequence to its copy, and the primary responds to the caller
+(Schneider's SMR tutorial, ref. [45]).
+
+The DSO layer's hot path uses an equivalent caller-driven form for
+simulation efficiency; this package provides the faithful
+message-driven construction, property-tested for replica agreement
+under crashes and view changes.
+"""
+
+from repro.smr.replica import ReplicatedStateMachine
+
+__all__ = ["ReplicatedStateMachine"]

@@ -1,0 +1,25 @@
+"""Simulated cloud storage services.
+
+These are the substrates the paper measures Crucial against:
+
+* :class:`ObjectStore` — Amazon S3 (high latency, eventual listing);
+* :class:`QueueService` — Amazon SQS (polling, visibility timeout);
+* :class:`NotificationService` — Amazon SNS (pub/sub fan-out);
+* :class:`RedisCluster` — Redis with server-side scripts, sharded,
+  single-threaded per shard;
+* :class:`DataGrid` — an Infinispan-like in-memory key-value grid.
+"""
+
+from repro.storage.object_store import ObjectStore
+from repro.storage.queue_service import QueueService
+from repro.storage.notification import NotificationService
+from repro.storage.kvstore import RedisCluster
+from repro.storage.datagrid import DataGrid
+
+__all__ = [
+    "ObjectStore",
+    "QueueService",
+    "NotificationService",
+    "RedisCluster",
+    "DataGrid",
+]

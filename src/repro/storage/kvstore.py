@@ -1,0 +1,142 @@
+"""A Redis-like in-memory key-value store with server-side scripts.
+
+Faithfully models the two properties that drive the paper's Fig. 2a
+crossover and the "Crucial + Redis" line of Fig. 5:
+
+* the server is **single-threaded** — every command, including Lua
+  scripts, runs to completion on one event loop, so concurrent complex
+  operations serialize (``workers=1`` per shard);
+* the optimized C core gives a very low fixed per-command cost, so for
+  trivial commands Redis beats the JVM-based DSO layer.
+
+Scripts are the stand-in for Lua: a registered Python function that
+runs against the shard's data dictionary, with an explicit CPU-cost
+model (scripts are charged ``script_overhead + cost``), because the
+*timing* of the computation — not its result — is what the simulation
+must get right.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.cluster.node import Node
+from repro.config import Config, DEFAULT_CONFIG
+from repro.errors import NoSuchKeyError
+from repro.net.network import Network
+from repro.rpc.server import RpcServer
+from repro.simulation.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Script:
+    """A server-side script: ``fn(data, key, *args) -> result``.
+
+    ``cost(*args)`` returns the CPU seconds the script burns on the
+    event loop (beyond the fixed script overhead).
+    """
+
+    fn: Callable[..., Any]
+    cost: Callable[..., float] = staticmethod(lambda *args: 0.0)
+
+
+class _Shard:
+    """One single-threaded Redis server process."""
+
+    def __init__(self, kernel: Kernel, network: Network, name: str,
+                 config: Config):
+        self.config = config
+        self.node = Node(kernel, network, name, workers=1)
+        self.data: dict[str, Any] = {}
+        self.server = RpcServer(self.node)
+        self.server.register("get", self._get)
+        self.server.register("set", self._set)
+        self.server.register("incrby", self._incrby)
+        self.server.register("script", self._script)
+        self._scripts: dict[str, Script] = {}
+
+    def _get(self, call, key):
+        call.service(self.config.redis.get_service)
+        if key not in self.data:
+            raise NoSuchKeyError(f"redis: no such key {key!r}")
+        return self.data[key]
+
+    def _set(self, call, key, value):
+        call.service(self.config.redis.put_service)
+        self.data[key] = value
+
+    def _incrby(self, call, key, amount):
+        call.service(self.config.redis.put_service)
+        value = self.data.get(key, 0) + amount
+        self.data[key] = value
+        return value
+
+    def _script(self, call, name, key, args):
+        script = self._scripts.get(name)
+        if script is None:
+            raise NoSuchKeyError(f"redis: script {name!r} not loaded")
+        call.service(self.config.redis.script_overhead
+                     + script.cost(*args))
+        return script.fn(self.data, key, *args)
+
+
+class RedisCluster:
+    """A client-sharded Redis deployment (N independent servers)."""
+
+    def __init__(self, kernel: Kernel, network: Network, shards: int = 1,
+                 config: Config = DEFAULT_CONFIG, name: str = "redis"):
+        if shards <= 0:
+            raise ValueError(f"shards must be positive: {shards}")
+        self.kernel = kernel
+        self.network = network
+        self.config = config
+        self.name = name
+        self.shards = [
+            _Shard(kernel, network, f"{name}-{i}", config)
+            for i in range(shards)
+        ]
+        latency = config.redis.client_server
+        for shard in self.shards:
+            for other in self.shards:
+                if shard is not other:
+                    network.set_link(shard.node.name, other.node.name, latency)
+
+    def _shard(self, key: str) -> _Shard:
+        digest = hashlib.blake2b(repr(key).encode(), digest_size=4).digest()
+        return self.shards[int.from_bytes(digest, "big") % len(self.shards)]
+
+    def _connect(self, client: str, shard: _Shard) -> None:
+        self.network.ensure_endpoint(client)
+        latency = self.config.redis.client_server
+        if self.network.link(client, shard.node.name) is not latency:
+            self.network.set_link(client, shard.node.name, latency)
+
+    # -- client API ------------------------------------------------------------
+
+    def get(self, client: str, key: str) -> Any:
+        shard = self._shard(key)
+        self._connect(client, shard)
+        return shard.server.call(client, "get", key)
+
+    def set(self, client: str, key: str, value: Any) -> None:
+        shard = self._shard(key)
+        self._connect(client, shard)
+        shard.server.call(client, "set", key, value)
+
+    def incrby(self, client: str, key: str, amount: int = 1) -> int:
+        shard = self._shard(key)
+        self._connect(client, shard)
+        return shard.server.call(client, "incrby", key, amount)
+
+    def register_script(self, name: str, script: Script) -> None:
+        """Load a script on every shard (SCRIPT LOAD)."""
+        for shard in self.shards:
+            shard._scripts[name] = script
+
+    def eval_script(self, client: str, name: str, key: str, *args) -> Any:
+        """EVALSHA: run a loaded script against ``key``'s shard."""
+        shard = self._shard(key)
+        self._connect(client, shard)
+        return shard.server.call(client, "script", name, key, args)

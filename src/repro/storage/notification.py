@@ -1,0 +1,55 @@
+"""An Amazon-SNS-like notification (pub/sub) service.
+
+Topics fan messages out to subscribed SQS queues after the publish
+latency plus a per-subscription delivery delay.  The SNS+SQS pair is
+the "standard AWS toolkit" barrier baseline of Fig. 7a: a thread
+publishes its arrival, and every thread polls its own queue for the
+release message — hundreds of milliseconds end-to-end.
+"""
+
+from __future__ import annotations
+
+from repro.config import Config, DEFAULT_CONFIG
+from repro.errors import NoSuchKeyError
+from repro.simulation.kernel import Kernel, current_thread
+from repro.storage.queue_service import QueueService
+
+
+class NotificationService:
+    """Named topics delivering to SQS queues."""
+
+    def __init__(self, kernel: Kernel, queue_service: QueueService,
+                 config: Config = DEFAULT_CONFIG, name: str = "sns"):
+        self.kernel = kernel
+        self.queue_service = queue_service
+        self.config = config
+        self.name = name
+        self._topics: dict[str, list[str]] = {}
+        self._rng = kernel.rng.stream(f"storage.{name}")
+        self.publish_count = 0
+
+    def create_topic(self, topic: str) -> None:
+        if topic in self._topics:
+            raise ValueError(f"topic {topic!r} already exists")
+        self._topics[topic] = []
+
+    def subscribe(self, topic: str, queue_name: str) -> None:
+        """Deliver every future publication on ``topic`` to the queue."""
+        subscribers = self._topics.get(topic)
+        if subscribers is None:
+            raise NoSuchKeyError(f"{self.name}: no such topic {topic!r}")
+        subscribers.append(queue_name)
+
+    def publish(self, topic: str, body) -> None:
+        """Publish (charges SNS latency; fan-out is asynchronous)."""
+        subscribers = self._topics.get(topic)
+        if subscribers is None:
+            raise NoSuchKeyError(f"{self.name}: no such topic {topic!r}")
+        delay = self.config.storage.sns_publish.sample(self._rng)
+        current_thread().sleep(delay)
+        self.publish_count += 1
+        for queue_name in subscribers:
+            fan_out = self.config.storage.sqs_send.sample(self._rng)
+            self.kernel.call_later(
+                fan_out,
+                lambda q=queue_name: self.queue_service._deliver(q, body))

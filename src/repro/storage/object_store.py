@@ -1,0 +1,114 @@
+"""An Amazon-S3-like object store.
+
+High access latency (>10 ms, Table 2), practically unlimited
+throughput (each request is charged latency but there is no shared
+server bottleneck — S3 scales horizontally), and *eventually
+consistent listings*: a freshly PUT key only becomes visible to
+``list_prefix``/``exists`` polling after ``visibility_lag``, which is
+what makes the S3-synchronization bars of Fig. 6 both slow and highly
+variable.
+
+Reads of an existing key are read-after-write consistent (S3's 2019
+semantics for new-object PUTs).  Values may carry a *nominal* byte
+size larger than their materialized payload so that 100 GB datasets
+can be modelled without allocating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.config import Config, DEFAULT_CONFIG
+from repro.errors import NoSuchKeyError
+from repro.net.network import payload_size, ship
+from repro.simulation.kernel import Kernel, current_thread
+
+
+@dataclass
+class _StoredObject:
+    value: Any
+    nbytes: int
+    put_time: float
+    visible_at: float
+
+
+class ObjectStore:
+    """A flat key/value blob store with S3 latencies."""
+
+    def __init__(self, kernel: Kernel, config: Config = DEFAULT_CONFIG,
+                 name: str = "s3"):
+        self.kernel = kernel
+        self.config = config
+        self.name = name
+        self._objects: dict[str, _StoredObject] = {}
+        self._rng = kernel.rng.stream(f"storage.{name}")
+        self.put_count = 0
+        self.get_count = 0
+        self.list_count = 0
+
+    # -- data path ------------------------------------------------------------
+
+    def put(self, key: str, value: Any, nbytes: int | None = None) -> None:
+        """Store ``value`` under ``key`` (charges PUT latency)."""
+        if nbytes is None:
+            nbytes = payload_size(value)
+        delay = self.config.storage.s3_put.sample(self._rng, nbytes)
+        current_thread().sleep(delay)
+        lag = self.config.storage.s3_visibility_lag
+        self._objects[key] = _StoredObject(
+            value=ship(value), nbytes=nbytes,
+            put_time=self.kernel.now,
+            visible_at=self.kernel.now + lag)
+        self.put_count += 1
+
+    def get(self, key: str) -> Any:
+        """Fetch ``key`` (charges GET latency, size-dependent)."""
+        stored = self._objects.get(key)
+        nbytes = stored.nbytes if stored is not None else 0
+        delay = self.config.storage.s3_get.sample(self._rng, nbytes)
+        current_thread().sleep(delay)
+        stored = self._objects.get(key)  # re-check after the delay
+        if stored is None:
+            self.get_count += 1
+            raise NoSuchKeyError(f"{self.name}: no such key {key!r}")
+        self.get_count += 1
+        return ship(stored.value)
+
+    def delete(self, key: str) -> None:
+        delay = self.config.storage.s3_put.sample(self._rng, 0)
+        current_thread().sleep(delay)
+        self._objects.pop(key, None)
+
+    # -- polling path (eventually consistent) -------------------------------------
+
+    def list_prefix(self, prefix: str) -> list[str]:
+        """List visible keys under ``prefix`` (charges one GET latency).
+
+        Keys PUT within the last ``visibility_lag`` seconds are *not*
+        returned: this is the eventual consistency that foils naive
+        S3-based synchronization.
+        """
+        delay = self.config.storage.s3_get.sample(self._rng, 0)
+        current_thread().sleep(delay)
+        self.list_count += 1
+        now = self.kernel.now
+        return sorted(
+            key for key, stored in self._objects.items()
+            if key.startswith(prefix) and stored.visible_at <= now)
+
+    def exists(self, key: str) -> bool:
+        """HEAD request with listing (eventual) visibility."""
+        delay = self.config.storage.s3_get.sample(self._rng, 0)
+        current_thread().sleep(delay)
+        self.list_count += 1
+        stored = self._objects.get(key)
+        return stored is not None and stored.visible_at <= self.kernel.now
+
+    # -- introspection (no latency; for tests and harnesses) ------------------------
+
+    def size(self) -> int:
+        return len(self._objects)
+
+    def stored_bytes(self) -> int:
+        return sum(o.nbytes for o in self._objects.values())

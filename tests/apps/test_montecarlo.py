@@ -1,0 +1,58 @@
+"""Unit tests for the Monte Carlo application (Listing 1)."""
+
+import math
+
+import pytest
+
+from repro import CrucialEnvironment
+from repro.apps import PiEstimator, estimate_pi
+
+
+def test_estimate_converges_to_pi():
+    with CrucialEnvironment(seed=161, dso_nodes=1) as env:
+        estimate, elapsed = env.run(
+            lambda: estimate_pi(8, iterations_per_thread=5_000_000,
+                                counter_key="t1"))
+    assert estimate == pytest.approx(math.pi, abs=0.01)
+    assert elapsed > 0
+
+
+def test_estimator_charges_modelled_compute():
+    with CrucialEnvironment(seed=162, dso_nodes=1) as env:
+        def main():
+            start = env.now
+            _estimate, _elapsed = estimate_pi(
+                1, iterations_per_thread=16_400_000, counter_key="t2")
+            return env.now - start
+
+        elapsed = env.run(main)
+    # 16.4M draws at ~16.4M draws/s ~ 1 s plus invocation overheads.
+    assert 0.9 < elapsed < 1.5
+
+
+def test_distinct_seeds_distinct_counts():
+    with CrucialEnvironment(seed=163, dso_nodes=1) as env:
+        def main():
+            from repro.core.cloud_thread import run_all
+
+            counts = run_all([PiEstimator(1_000_000, "t3", seed=i)
+                              for i in range(4)])
+            return counts
+
+        counts = env.run(main)
+    assert len(set(counts)) > 1
+    expected = 1_000_000 * math.pi / 4
+    assert all(abs(c - expected) < 5_000 for c in counts)
+
+
+def test_speedup_with_more_threads():
+    def timed(n):
+        with CrucialEnvironment(seed=164, dso_nodes=1) as env:
+            _estimate, elapsed = env.run(
+                lambda: estimate_pi(n, iterations_per_thread=10_000_000,
+                                    counter_key=f"t4-{n}"))
+            return elapsed
+
+    t1 = timed(1)
+    t8 = timed(8)
+    assert t8 < t1 * 1.3  # near-flat: embarrassingly parallel

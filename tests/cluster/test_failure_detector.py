@@ -1,0 +1,106 @@
+"""Tests for the heartbeat failure detector."""
+
+import pytest
+
+from repro.cluster import MembershipService, Node
+from repro.cluster.failure_detector import HeartbeatFailureDetector
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep
+
+
+def build(kernel, members=3, period=0.5, timeout=2.0):
+    network = Network(kernel, LatencyModel(0.0005))
+    membership = MembershipService(kernel)
+    nodes = {}
+    for i in range(members):
+        node = Node(kernel, network, f"n{i}")
+        nodes[node.name] = node
+        membership.join(node)
+    detector = HeartbeatFailureDetector(kernel, network, membership,
+                                        period=period, timeout=timeout)
+    detector.start()
+    return network, membership, nodes, detector
+
+
+def test_detects_crash_within_bound():
+    with Kernel(seed=191) as kernel:
+        _net, membership, nodes, detector = build(kernel)
+
+        def main():
+            sleep(1.0)
+            nodes["n1"].crash()
+            crash_time = kernel.now
+            while "n1" in membership.view.members:
+                sleep(0.1)
+            return kernel.now - crash_time
+
+        latency = kernel.run_main(main)
+    assert latency <= detector.detection_bound() + 0.2
+
+
+def test_no_false_positives_on_live_members():
+    with Kernel(seed=192) as kernel:
+        _net, membership, _nodes, _detector = build(kernel)
+
+        def main():
+            sleep(20.0)
+            return membership.view.members
+
+        members = kernel.run_main(main)
+    assert members == ("n0", "n1", "n2")
+
+
+def test_invalid_timeout_rejected():
+    with Kernel(seed=193) as kernel:
+        network = Network(kernel, LatencyModel(0.0005))
+        membership = MembershipService(kernel)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(kernel, network, membership,
+                                     period=2.0, timeout=1.0)
+
+
+def test_double_start_rejected():
+    with Kernel(seed=194) as kernel:
+        _net, _mem, _nodes, detector = build(kernel)
+        with pytest.raises(RuntimeError):
+            detector.start()
+
+
+def test_multiple_crashes_all_detected():
+    with Kernel(seed=195) as kernel:
+        _net, membership, nodes, _detector = build(kernel, members=4)
+
+        def main():
+            nodes["n0"].crash()
+            sleep(1.0)
+            nodes["n2"].crash()
+            sleep(10.0)
+            return membership.view.members
+
+        members = kernel.run_main(main)
+    assert members == ("n1", "n3")
+
+
+def test_dso_failover_with_heartbeat_detector():
+    """End to end: DSO failover driven by detection, not by report."""
+    from repro.dso import DsoLayer, DsoReference
+    from repro.dso.layer import KvSlot
+
+    with Kernel(seed=196) as kernel:
+        network = Network(kernel, LatencyModel(0.0001))
+        network.ensure_endpoint("client")
+        layer = DsoLayer(kernel, network)
+        for _ in range(3):
+            layer.add_node()
+        layer.enable_failure_detector(period=0.5, timeout=2.0)
+        ref = DsoReference("KvSlot", "hb", persistent=True, rf=2)
+
+        def main():
+            layer.invoke("client", ref, "set", (5,),
+                         ctor=(KvSlot, (), {}))
+            layer.crash_node(layer.placement_of(ref)[0])
+            return layer.invoke("client", ref, "get",
+                                ctor=(KvSlot, (), {}))
+
+        assert kernel.run_main(main) == 5

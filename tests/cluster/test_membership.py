@@ -1,0 +1,85 @@
+"""Unit tests for the membership/view service."""
+
+import pytest
+
+from repro.cluster import MembershipService, Node
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=3) as k:
+        yield k
+
+
+@pytest.fixture
+def network(kernel):
+    return Network(kernel, LatencyModel(0.001))
+
+
+def make_node(kernel, network, name):
+    return Node(kernel, network, name)
+
+
+def test_initial_view_is_empty(kernel):
+    service = MembershipService(kernel)
+    assert service.view.members == ()
+    assert service.view.view_id == 0
+
+
+def test_join_installs_new_view(kernel, network):
+    service = MembershipService(kernel)
+    node = make_node(kernel, network, "n1")
+    view = service.join(node)
+    assert view.members == ("n1",)
+    assert view.view_id == 1
+    assert "n1" in service.view
+
+
+def test_views_are_totally_ordered(kernel, network):
+    service = MembershipService(kernel)
+    for i in range(4):
+        service.join(make_node(kernel, network, f"n{i}"))
+    ids = [v.view_id for v in service.history]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+
+
+def test_duplicate_join_rejected(kernel, network):
+    service = MembershipService(kernel)
+    node = make_node(kernel, network, "n1")
+    service.join(node)
+    with pytest.raises(ValueError):
+        service.join(node)
+
+
+def test_crash_detected_after_delay(kernel, network):
+    service = MembershipService(kernel, failure_detection_delay=4.0)
+    n1 = make_node(kernel, network, "n1")
+    n2 = make_node(kernel, network, "n2")
+    service.join(n1)
+    service.join(n2)
+    n1.crash()
+    service.report_crash("n1")
+    kernel.run(until=3.9)
+    assert "n1" in service.view  # not yet detected
+    kernel.run(until=4.1)
+    assert "n1" not in service.view
+    assert service.view.members == ("n2",)
+
+
+def test_listener_receives_views_in_order(kernel, network):
+    service = MembershipService(kernel)
+    received = []
+    service.subscribe(received.append)
+    service.join(make_node(kernel, network, "n1"))
+    service.join(make_node(kernel, network, "n2"))
+    service.leave("n1")
+    assert [v.members for v in received] == [("n1",), ("n1", "n2"), ("n2",)]
+
+
+def test_leave_unknown_member_rejected(kernel):
+    service = MembershipService(kernel)
+    with pytest.raises(ValueError):
+        service.leave("ghost")

@@ -1,0 +1,59 @@
+"""Unit tests for the map-phase synchronization strategies (Fig. 6)."""
+
+import math
+
+import pytest
+
+from repro import CrucialEnvironment
+from repro.coordination import STRATEGIES, MapSyncExperiment
+
+N_THREADS = 8
+DRAWS = 1_000_000
+
+
+@pytest.fixture
+def env():
+    with CrucialEnvironment(seed=61, dso_nodes=1) as environment:
+        yield environment
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_every_strategy_aggregates_correctly(env, strategy):
+    def main():
+        experiment = MapSyncExperiment(strategy, n_threads=N_THREADS,
+                                       draws=DRAWS)
+        return experiment.execute()
+
+    result = env.run(main)
+    estimate = 4.0 * result.aggregate / (N_THREADS * DRAWS)
+    assert estimate == pytest.approx(math.pi, rel=0.01)
+    assert result.sync_time > 0
+    assert result.total_time > result.sync_time
+
+
+def test_unknown_strategy_rejected(env):
+    with pytest.raises(ValueError):
+        MapSyncExperiment("carrier-pigeon")
+
+
+def test_fig6_ordering_future_beats_polling(env):
+    """The paper's headline shape: futures beat polling, auto-reduce
+    beats everything, SQS is slowest."""
+
+    def main():
+        sync_times = {}
+        for name in ("sqs", "s3-polling", "future", "auto-reduce"):
+            # Enough mappers that the client-side reduce of the future
+            # strategy is visible against auto-reduce's single read.
+            experiment = MapSyncExperiment(name, n_threads=40,
+                                           draws=DRAWS,
+                                           run_id=f"order-{name}")
+            sync_times[name] = experiment.execute().sync_time
+        return sync_times
+
+    sync = env.run(main)
+    assert sync["auto-reduce"] < sync["future"]
+    assert sync["future"] < sync["s3-polling"]
+    assert sync["sqs"] > sync["future"] * 3  # SQS among the slowest
+    assert sync["sqs"] > sync["s3-polling"] * 0.5
+    assert sync["auto-reduce"] < sync["s3-polling"] / 2  # "twice faster"

@@ -1,0 +1,199 @@
+"""Unit tests for the runtime environment and proxy marshalling."""
+
+import pickle
+
+import pytest
+
+from repro import AtomicLong, CrucialEnvironment, SharedList, shared
+from repro.core.proxy import GenericProxy
+from repro.core.runtime import (
+    compute,
+    current_cpu_share,
+    current_environment,
+    current_location,
+)
+from repro.dso.reference import DsoReference, reference_for
+from repro.errors import SimulationError
+
+
+class Box:
+    def __init__(self, value=None):
+        self.value = value
+
+    def get(self):
+        return self.value
+
+    def set(self, value):
+        self.value = value
+
+
+# -- references ---------------------------------------------------------------
+
+
+def test_reference_identity_and_flags():
+    ref = reference_for(Box, "b")
+    assert ref.ident == ("Box", "b")
+    assert not ref.persistent and ref.rf == 1
+    persistent = reference_for(Box, "b", persistent=True)
+    assert persistent.rf == 2
+
+
+def test_reference_validation():
+    with pytest.raises(ValueError):
+        DsoReference("T", "k", persistent=False, rf=2)
+    with pytest.raises(ValueError):
+        DsoReference("T", "k", persistent=True, rf=1)
+    with pytest.raises(ValueError):
+        DsoReference("T", "k", rf=0)
+
+
+def test_reference_str_mentions_flavor():
+    assert "ephemeral" in str(reference_for(Box, "k"))
+    assert "rf=3" in str(reference_for(Box, "k", persistent=True, rf=3))
+
+
+# -- proxies -------------------------------------------------------------------
+
+
+def test_proxy_pickle_round_trip_rebinds():
+    with CrucialEnvironment(seed=121, dso_nodes=1) as env:
+        def main():
+            proxy = AtomicLong("pickled", 5)
+            proxy.add_and_get(1)
+            clone = pickle.loads(pickle.dumps(proxy))
+            return clone.get(), clone.ref == proxy.ref
+
+        value, same_ref = env.run(main)
+    assert value == 6
+    assert same_ref
+
+
+def test_generic_proxy_pickles_user_class():
+    with CrucialEnvironment(seed=122, dso_nodes=1) as env:
+        def main():
+            proxy = shared(Box, "boxed", "hello")
+            clone = pickle.loads(pickle.dumps(proxy))
+            return clone.get()
+
+        assert env.run(main) == "hello"
+
+
+def test_generic_proxy_rejects_private_attributes():
+    proxy = GenericProxy(Box, "b")
+    with pytest.raises(AttributeError):
+        proxy._not_a_method()
+
+
+def test_proxy_without_server_class_rejected():
+    from repro.core.proxy import DsoProxy
+
+    with pytest.raises(TypeError):
+        DsoProxy("key")
+
+
+def test_proxy_repr_mentions_reference():
+    assert "pickled" in repr(AtomicLong("pickled"))
+
+
+# -- runtime context -------------------------------------------------------------
+
+
+def test_location_defaults_to_client():
+    with CrucialEnvironment(seed=123, dso_nodes=1) as env:
+        assert env.run(current_location) == "client"
+
+
+class _WhatShare:
+    """Module-level so it pickles into the function payload."""
+
+    def run(self):
+        return current_cpu_share()
+
+
+def test_cpu_share_default_and_in_function():
+    with CrucialEnvironment(seed=124, dso_nodes=1,
+                            function_memory_mb=896) as env:
+        def main():
+            from repro import CloudThread
+
+            local_share = current_cpu_share()
+            thread = CloudThread(_WhatShare()).start()
+            thread.join()
+            return local_share, thread.result()
+
+        local_share, remote_share = env.run(main)
+    assert local_share == 1.0
+    assert remote_share == pytest.approx(896 / 1792)
+
+
+def test_compute_charges_scaled_time():
+    with CrucialEnvironment(seed=125, dso_nodes=1) as env:
+        def main():
+            start = env.now
+            compute(0.5)
+            return env.now - start
+
+        assert env.run(main) == pytest.approx(0.5)
+
+
+def test_compute_zero_is_free():
+    with CrucialEnvironment(seed=126, dso_nodes=1) as env:
+        def main():
+            start = env.now
+            compute(0.0)
+            compute(-1.0)
+            return env.now - start
+
+        assert env.run(main) == 0.0
+
+
+def test_two_environments_cannot_both_be_active():
+    env_a = CrucialEnvironment(seed=127, dso_nodes=1)
+    env_b = CrucialEnvironment(seed=128, dso_nodes=1)
+    env_a.activate()
+    try:
+        with pytest.raises(SimulationError):
+            env_b.activate()
+    finally:
+        env_a.close()
+        env_b.close()
+
+
+def test_environment_services_wired():
+    with CrucialEnvironment(seed=129, dso_nodes=2) as env:
+        assert len(env.dso.live_nodes()) == 2
+        assert env.object_store is not None
+        assert env.queue_service is not None
+        assert env.notification is not None
+        assert env.data_grid() is env.data_grid()
+        assert env.redis() is env.redis()
+
+
+def test_current_environment_inside_run():
+    with CrucialEnvironment(seed=130, dso_nodes=1) as env:
+        assert env.run(current_environment) is env
+
+
+# -- library object via shared list in functions -----------------------------------
+
+
+class Appender:
+    def __init__(self, item):
+        self.item = item
+        self.items = SharedList("shipped-list")
+
+    def run(self):
+        self.items.append(self.item)
+
+
+def test_proxies_inside_runnables_reach_same_object():
+    from repro import CloudThread
+
+    with CrucialEnvironment(seed=131, dso_nodes=1) as env:
+        def main():
+            threads = [CloudThread(Appender(i)).start() for i in range(5)]
+            for t in threads:
+                t.join()
+            return sorted(SharedList("shipped-list").get_all())
+
+        assert env.run(main) == [0, 1, 2, 3, 4]

@@ -1,0 +1,110 @@
+"""Tests for the @Shared field-annotation descriptor."""
+
+import pytest
+
+from repro import AtomicLong, CloudThread, CrucialEnvironment, SharedField
+
+
+class Accumulator:
+    """Plain shared class for the generic-proxy path."""
+
+    def __init__(self, start=0):
+        self.value = start
+
+    def add(self, delta):
+        self.value += delta
+        return self.value
+
+    def get(self):
+        return self.value
+
+
+class WorkerA:
+    counter = SharedField(AtomicLong)  # key: "WorkerA.counter"
+
+    def run(self):
+        return self.counter.add_and_get(1)
+
+
+class WorkerB:
+    counter = SharedField(AtomicLong)  # key: "WorkerB.counter"
+
+    def run(self):
+        return self.counter.add_and_get(1)
+
+
+class Overridden:
+    counter = SharedField(AtomicLong, key="explicit-key")
+
+
+class WithUserClass:
+    acc = SharedField(Accumulator, 10)
+
+
+class Durable:
+    state = SharedField(Accumulator, persistent=True)
+
+
+@pytest.fixture
+def env():
+    with CrucialEnvironment(seed=221, dso_nodes=2) as environment:
+        yield environment
+
+
+def test_key_derived_from_field_name():
+    assert WorkerA.__dict__["counter"].key == "WorkerA.counter"
+    assert Overridden.__dict__["counter"].key == "explicit-key"
+
+
+def test_instances_share_one_object(env):
+    def main():
+        a1, a2 = WorkerA(), WorkerA()
+        a1.counter.add_and_get(3)
+        return a2.counter.get()
+
+    assert env.run(main) == 3
+
+
+def test_different_owners_distinct_objects(env):
+    def main():
+        WorkerA().counter.add_and_get(5)
+        return WorkerB().counter.get()
+
+    assert env.run(main) == 0
+
+
+def test_user_class_via_generic_proxy(env):
+    def main():
+        w = WithUserClass()
+        w.acc.add(7)
+        return WithUserClass().acc.get()
+
+    assert env.run(main) == 17  # ctor start=10 plus 7
+
+
+def test_persistent_field_replicated(env):
+    def main():
+        Durable().state.add(1)
+        ref = Durable.__dict__["state"]
+        return ref.persistent, ref.rf
+
+    persistent, rf = env.run(main)
+    assert persistent is True
+
+
+def test_shared_field_in_cloud_threads(env):
+    def main():
+        threads = [CloudThread(WorkerA()) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return WorkerA().counter.get()
+
+    assert env.run(main) == 6
+
+
+def test_field_outside_class_rejected():
+    stray = SharedField(AtomicLong)
+    with pytest.raises(AttributeError):
+        stray.__get__(None)

@@ -1,0 +1,308 @@
+"""Unit tests for the synchronization objects."""
+
+import pytest
+
+from repro import (
+    CountDownLatch,
+    CrucialEnvironment,
+    CyclicBarrier,
+    Future,
+    Semaphore,
+)
+from repro.errors import BrokenBarrierError, FutureCancelledError
+from repro.simulation.thread import now, sleep, spawn
+
+
+@pytest.fixture
+def env():
+    with CrucialEnvironment(seed=47, dso_nodes=1) as environment:
+        yield environment
+
+
+# -- CyclicBarrier ---------------------------------------------------------------
+
+
+def test_barrier_blocks_until_all_arrive(env):
+    def main():
+        barrier = CyclicBarrier("b", 3)
+        release_times = []
+
+        def party(delay):
+            sleep(delay)
+            barrier.wait()
+            release_times.append(now())
+
+        threads = [spawn(party, d) for d in (0.1, 0.5, 2.0)]
+        for t in threads:
+            t.join()
+        return release_times
+
+    times = env.run(main)
+    assert len(times) == 3
+    # Everyone leaves only after the slowest (2.0 s) arrival.
+    assert all(t >= 2.0 for t in times)
+    assert max(times) - min(times) < 0.05
+
+
+def test_barrier_is_cyclic(env):
+    def main():
+        barrier = CyclicBarrier("cyc", 2)
+        laps = []
+
+        def party(i):
+            for lap in range(3):
+                barrier.wait()
+                laps.append((i, lap))
+
+        threads = [spawn(party, i) for i in range(2)]
+        for t in threads:
+            t.join()
+        return laps
+
+    laps = env.run(main)
+    assert len(laps) == 6
+    # Laps interleave: both parties complete lap k before any lap k+1.
+    order = [lap for _i, lap in laps]
+    assert order == sorted(order)
+
+
+def test_barrier_arrival_indexes(env):
+    def main():
+        barrier = CyclicBarrier("idx", 3)
+        indexes = []
+
+        def party(delay):
+            sleep(delay)
+            indexes.append(barrier.wait())
+
+        threads = [spawn(party, d) for d in (0.1, 0.2, 0.3)]
+        for t in threads:
+            t.join()
+        return sorted(indexes)
+
+    assert env.run(main) == [0, 1, 2]
+
+
+def test_barrier_reset_breaks_waiters(env):
+    def main():
+        barrier = CyclicBarrier("broken", 3)
+        errors = []
+
+        def party():
+            try:
+                barrier.wait()
+            except BrokenBarrierError:
+                errors.append(True)
+
+        threads = [spawn(party) for _ in range(2)]
+        sleep(0.5)
+        barrier.reset()
+        for t in threads:
+            t.join()
+        return errors
+
+    assert env.run(main) == [True, True]
+
+
+def test_barrier_invalid_parties(env):
+    def main():
+        CyclicBarrier("bad", 0).wait()
+
+    with pytest.raises(ValueError):
+        env.run(main)
+
+
+def test_barrier_number_waiting(env):
+    def main():
+        barrier = CyclicBarrier("count", 5)
+        threads = [spawn(barrier.wait) for _ in range(3)]
+        sleep(0.5)
+        waiting = barrier.get_number_waiting()
+        spawn(barrier.wait)
+        spawn(barrier.wait)
+        for t in threads:
+            t.join()
+        return waiting, barrier.get_parties()
+
+    assert env.run(main) == (3, 5)
+
+
+# -- Semaphore -------------------------------------------------------------------
+
+
+def test_semaphore_bounds_concurrency(env):
+    def main():
+        semaphore = Semaphore("sem", 2)
+        active = [0]
+        peak = [0]
+
+        def worker():
+            with semaphore:
+                active[0] += 1
+                peak[0] = max(peak[0], active[0])
+                sleep(1.0)
+                active[0] -= 1
+
+        threads = [spawn(worker) for _ in range(6)]
+        for t in threads:
+            t.join()
+        return peak[0]
+
+    assert env.run(main) == 2
+
+
+def test_semaphore_try_acquire(env):
+    def main():
+        semaphore = Semaphore("try", 1)
+        first = semaphore.try_acquire()
+        second = semaphore.try_acquire()
+        semaphore.release()
+        return first, second, semaphore.available_permits()
+
+    assert env.run(main) == (True, False, 1)
+
+
+def test_semaphore_multi_permit(env):
+    def main():
+        semaphore = Semaphore("multi", 3)
+        semaphore.acquire(3)
+        blocked = [True]
+
+        def late():
+            semaphore.acquire(1)
+            blocked[0] = False
+
+        t = spawn(late)
+        sleep(0.5)
+        still_blocked = blocked[0]
+        semaphore.release(3)
+        t.join()
+        return still_blocked, blocked[0]
+
+    assert env.run(main) == (True, False)
+
+
+# -- Future ------------------------------------------------------------------------
+
+
+def test_future_get_blocks_until_set(env):
+    def main():
+        future = Future("f")
+
+        def producer():
+            sleep(1.5)
+            future.set({"result": 99})
+
+        spawn(producer)
+        value = future.get()
+        return value, now()
+
+    value, elapsed = env.run(main)
+    assert value == {"result": 99}
+    assert elapsed >= 1.5
+
+
+def test_future_set_twice_rejected(env):
+    def main():
+        future = Future("once")
+        future.set(1)
+        future.set(2)
+
+    with pytest.raises(ValueError):
+        env.run(main)
+
+
+def test_future_cancel(env):
+    def main():
+        future = Future("cancelled")
+        waiters = []
+
+        def consumer():
+            try:
+                future.get()
+            except FutureCancelledError:
+                waiters.append(True)
+
+        t = spawn(consumer)
+        sleep(0.5)
+        assert future.cancel() is True
+        t.join()
+        return waiters, future.is_done()
+
+    waiters, done = env.run(main)
+    assert waiters == [True]
+    assert done is True
+
+
+def test_future_cancel_after_set_fails(env):
+    def main():
+        future = Future("done")
+        future.set(1)
+        return future.cancel()
+
+    assert env.run(main) is False
+
+
+# -- CountDownLatch ------------------------------------------------------------------
+
+
+def test_latch_releases_at_zero(env):
+    def main():
+        latch = CountDownLatch("latch", 3)
+
+        def counter():
+            sleep(1.0)
+            latch.count_down()
+
+        for _ in range(3):
+            spawn(counter)
+        latch.wait()
+        return now()
+
+    assert env.run(main) >= 1.0
+
+
+def test_latch_count_never_negative(env):
+    def main():
+        latch = CountDownLatch("floor", 1)
+        latch.count_down()
+        latch.count_down()
+        return latch.get_count()
+
+    assert env.run(main) == 0
+
+
+def test_latch_wait_after_zero_returns_immediately(env):
+    def main():
+        latch = CountDownLatch("fast", 0)
+        latch.wait()
+        return True
+
+    assert env.run(main) is True
+
+
+# -- crash behaviour ---------------------------------------------------------------------
+
+
+def test_sync_objects_lost_on_node_crash(env):
+    """Footnote 2: synchronization objects are not replicated."""
+    from repro.errors import NodeCrashedError, ObjectLostError
+
+    def main():
+        barrier = CyclicBarrier("doomed", 2)
+        failures = []
+
+        def party():
+            try:
+                barrier.wait()
+            except (NodeCrashedError, ObjectLostError):
+                failures.append(True)
+
+        t = spawn(party)
+        sleep(0.5)
+        primary = env.dso.placement_of(barrier.ref)[0]
+        env.dso.crash_node(primary)
+        t.join()
+        return failures
+
+    assert env.run(main) == [True]

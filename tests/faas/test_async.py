@@ -1,0 +1,103 @@
+"""Tests for asynchronous (Event) invocations with platform retries."""
+
+import pytest
+
+from repro.faas import FaasPlatform
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.storage import QueueService
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=171) as k:
+        yield k
+
+
+@pytest.fixture
+def platform(kernel):
+    network = Network(kernel, LatencyModel(0.0005))
+    network.ensure_endpoint("driver")
+    return FaasPlatform(kernel, network)
+
+
+def test_async_invocation_returns_immediately(kernel, platform):
+    platform.deploy("slow", lambda ctx, x: ctx.compute(5.0) or "done")
+
+    def main():
+        t0 = kernel.now
+        handle = platform.invoke_async("driver", "slow")
+        dispatched_at = kernel.now - t0
+        handle.join()
+        return dispatched_at, handle.result()
+
+    dispatched_at, result = kernel.run_main(main)
+    assert dispatched_at == 0.0
+    assert result == "done"
+
+
+def test_async_retries_automatically(kernel, platform):
+    """Event invocations are retried by the platform (Section 2.1)."""
+    attempts = []
+
+    def handler(ctx, x):
+        attempts.append(1)
+        return "ok"
+
+    platform.deploy("flaky", handler)
+    platform.inject_failures("flaky", rate=1.0, kind="before")
+
+    def main():
+        handle = platform.invoke_async("driver", "flaky",
+                                       max_retries=2)
+        with pytest.raises(Exception):
+            handle.join()
+
+    kernel.run_main(main)
+    assert platform.invocation_count("flaky") == 3  # 1 + 2 retries
+
+
+def test_async_dead_letter_queue(kernel, platform):
+    platform.deploy("doomed", lambda ctx, x: x)
+    platform.inject_failures("doomed", rate=1.0, kind="before")
+    sqs = QueueService(kernel)
+    sqs.create_queue("dlq")
+
+    def main():
+        handle = platform.invoke_async(
+            "driver", "doomed", payload={"job": 9},
+            dead_letter_queue=(sqs, "dlq"), max_retries=1)
+        handle.join()
+        batch = sqs.receive("dlq", wait=10.0)
+        return batch[0].body
+
+    body = kernel.run_main(main)
+    assert body["function"] == "doomed"
+    assert body["payload"] == {"job": 9}
+    assert "failed" in body["error"]
+
+
+def test_async_success_skips_dlq(kernel, platform):
+    platform.deploy("fine", lambda ctx, x: x * 2)
+    sqs = QueueService(kernel)
+    sqs.create_queue("dlq2")
+
+    def main():
+        handle = platform.invoke_async("driver", "fine", payload=21,
+                                       dead_letter_queue=(sqs, "dlq2"))
+        handle.join()
+        return handle.result(), sqs.approximate_depth("dlq2")
+
+    result, depth = kernel.run_main(main)
+    assert result == 42
+    assert depth == 0
+
+
+def test_async_unknown_function_fails_fast(kernel, platform):
+    from repro.errors import ServiceUnavailableError
+
+    def main():
+        platform.invoke_async("driver", "ghost")
+
+    with pytest.raises(ServiceUnavailableError):
+        kernel.run_main(main)

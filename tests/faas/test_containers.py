@@ -1,0 +1,101 @@
+"""Container lifecycle tests: keep-alive, reuse, identity."""
+
+import pytest
+
+from repro.config import Config, FaasTimings
+from repro.faas import FaasPlatform
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=151) as k:
+        yield k
+
+
+def make_platform(kernel, keep_alive=60.0):
+    from dataclasses import replace
+
+    config = Config(faas_timings=replace(FaasTimings(),
+                                         keep_alive=keep_alive))
+    network = Network(kernel, LatencyModel(0.0005))
+    network.ensure_endpoint("driver")
+    platform = FaasPlatform(kernel, network, config=config)
+    platform.deploy("f", lambda ctx, x: ctx.endpoint)
+    return platform
+
+
+def test_idle_container_expires_after_keep_alive(kernel):
+    platform = make_platform(kernel, keep_alive=10.0)
+
+    def main():
+        first = platform.invoke("driver", "f")
+        sleep(11.0)
+        second = platform.invoke("driver", "f")
+        return first, second
+
+    first, second = kernel.run_main(main)
+    assert first != second  # cold again
+    assert platform.records[0].cold_start
+    assert platform.records[1].cold_start
+
+
+def test_container_reused_within_keep_alive(kernel):
+    platform = make_platform(kernel, keep_alive=60.0)
+
+    def main():
+        first = platform.invoke("driver", "f")
+        sleep(30.0)
+        second = platform.invoke("driver", "f")
+        return first, second
+
+    first, second = kernel.run_main(main)
+    assert first == second
+    assert not platform.records[1].cold_start
+
+
+def test_context_endpoint_is_network_addressable(kernel):
+    platform = make_platform(kernel)
+
+    def main():
+        return platform.invoke("driver", "f")
+
+    endpoint = kernel.run_main(main)
+    assert platform.network.endpoint(endpoint).alive
+
+
+def test_billed_duration_rounds_up_to_100ms(kernel):
+    from repro.faas.platform import InvocationRecord
+
+    record = InvocationRecord(function="f", container="c", start=0.0,
+                              end=0.234, memory_mb=1024,
+                              cold_start=False, error=None)
+    assert record.billed_duration == pytest.approx(0.3)
+    zero = InvocationRecord(function="f", container="c", start=0.0,
+                            end=0.0, memory_mb=1024, cold_start=False,
+                            error=None)
+    assert zero.billed_duration == pytest.approx(0.1)
+
+
+def test_records_capture_errors(kernel):
+    platform = make_platform(kernel)
+    platform.deploy("bad", lambda ctx, x: 1 / 0)
+
+    def main():
+        from repro.errors import InvocationError
+
+        with pytest.raises(InvocationError):
+            platform.invoke("driver", "bad")
+
+    kernel.run_main(main)
+    assert platform.records[-1].error == "InvocationError"
+
+
+def test_timeout_validation(kernel):
+    platform = make_platform(kernel)
+    with pytest.raises(ValueError):
+        platform.deploy("slowpoke", lambda ctx, x: x, timeout=16 * 60.0)
+    with pytest.raises(ValueError):
+        platform.deploy("zero", lambda ctx, x: x, timeout=0)

@@ -1,0 +1,56 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.metrics.ascii_plot import bar_chart, sparkline
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3, 4, 5])
+    assert len(line) == 6
+    assert line[0] != line[-1]
+
+
+def test_sparkline_flat_series():
+    line = sparkline([5.0, 5.0, 5.0])
+    assert len(line) == 3
+    assert len(set(line)) == 1
+
+
+def test_sparkline_resamples_to_width():
+    line = sparkline(list(range(1000)), width=40)
+    assert len(line) == 40
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_captures_dip():
+    series = [100] * 10 + [10] * 10 + [100] * 10
+    line = sparkline(series)
+    assert line[15] < line[0]  # the dip is visible
+
+
+def test_bar_chart_alignment_and_values():
+    chart = bar_chart(["short", "longer-label"], [1.0, 2.0], unit="s")
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[0].index("|") == lines[1].index("|")
+    assert "2s" in lines[1]
+
+
+def test_bar_chart_scales_to_max():
+    chart = bar_chart(["a", "b"], [1.0, 10.0], width=20)
+    bars = [line.count("#") for line in chart.splitlines()]
+    assert bars[1] == 20
+    assert bars[0] == 2
+
+
+def test_bar_chart_validates_lengths():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], []) == ""

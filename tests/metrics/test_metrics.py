@@ -1,0 +1,104 @@
+"""Unit tests for metrics: recorder, cost model, report tables."""
+
+import pytest
+
+from repro.metrics import (
+    CostModel,
+    ThroughputTracker,
+    TimeSeries,
+    comparison_table,
+    percentile,
+    render_table,
+)
+
+
+# -- recorder -----------------------------------------------------------------
+
+
+def test_time_series_stats():
+    series = TimeSeries("latency")
+    for t, v in enumerate([1.0, 3.0, 2.0]):
+        series.add(float(t), v)
+    assert series.mean() == pytest.approx(2.0)
+    assert series.maximum() == 3.0
+    assert TimeSeries("empty").mean() == 0.0
+
+
+def test_throughput_tracker_buckets():
+    tracker = ThroughputTracker(bucket_width=1.0)
+    for t in (0.1, 0.2, 1.5, 2.9, 2.95):
+        tracker.record(t)
+    assert tracker.series(0, 3) == [2.0, 1.0, 2.0]
+    assert tracker.rate_between(0, 3) == pytest.approx(5 / 3)
+
+
+def test_throughput_tracker_empty_window():
+    tracker = ThroughputTracker()
+    assert tracker.rate_between(5, 5) == 0.0
+
+
+def test_percentile_nearest_rank():
+    values = [float(v) for v in range(1, 101)]
+    assert percentile(values, 50) == 50.0
+    assert percentile(values, 99) == 99.0
+    assert percentile(values, 100) == 100.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+# -- cost model ------------------------------------------------------------------
+
+
+def test_crucial_rate_matches_section_623():
+    model = CostModel()
+    # "0.25 and 0.28 cents per second for 1792MB and 2048MB"
+    assert model.crucial_rate_per_second(80, 1792) * 100 == \
+        pytest.approx(0.25, abs=0.01)
+    assert model.crucial_rate_per_second(80, 2048) * 100 == \
+        pytest.approx(0.28, abs=0.01)
+
+
+def test_spark_rate_matches_section_623():
+    model = CostModel()
+    # "0.15 cents per second" for the 11-node EMR cluster.
+    assert model.spark_rate_per_second() * 100 == pytest.approx(0.15,
+                                                                abs=0.01)
+
+
+def test_crucial_experiment_cost_breakdown():
+    model = CostModel()
+    cost = model.crucial_experiment("k-means", total_seconds=87,
+                                    iteration_seconds=20.4,
+                                    functions=80, memory_mb=2048)
+    # Table 3: k-means (k=25) Crucial: total $0.244, iterations $0.057.
+    assert cost.total_dollars == pytest.approx(0.244, abs=0.02)
+    assert cost.iteration_dollars == pytest.approx(0.057, abs=0.005)
+
+
+def test_spark_experiment_cost_breakdown():
+    model = CostModel()
+    cost = model.spark_experiment("k-means", total_seconds=168,
+                                  iteration_seconds=34)
+    # Table 3: k-means (k=25) Spark: total $0.246, iterations $0.050.
+    assert cost.total_dollars == pytest.approx(0.246, abs=0.01)
+    assert cost.iteration_dollars == pytest.approx(0.050, abs=0.005)
+
+
+# -- report ------------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [("a", 1.0), ("bbbb", 22.5)],
+                        title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_comparison_table_ratio():
+    text = comparison_table("t", [("x", 2.0, 1.0)], unit="s")
+    assert "0.50x" in text
+    assert "2s" in text

@@ -1,0 +1,161 @@
+"""Unit tests for the Crucial training drivers and inference serving."""
+
+import numpy as np
+import pytest
+
+from repro import CrucialEnvironment
+from repro.ml import MLDataset
+from repro.ml.inference import (
+    deploy_model,
+    model_references,
+    run_inference_load,
+)
+from repro.ml.kmeans import CentroidShard, CrucialKMeans, GlobalDelta
+from repro.ml.local import LocalKMeansBaseline, scale_up
+from repro.ml.logreg import CrucialLogisticRegression, GlobalWeights
+from repro.simulation.kernel import Kernel
+
+SMALL = dict(partitions=4, materialized_points=2000,
+             nominal_points=50_000, nominal_bytes=10 ** 7)
+
+
+# -- server-side objects --------------------------------------------------------
+
+
+def test_centroid_shard_accumulates_and_advances():
+    shard = CentroidShard(np.zeros((2, 3)))
+    shard.update(np.ones((2, 3)) * 4, np.array([2, 0]))
+    delta = shard.advance()
+    np.testing.assert_allclose(shard.coords[0], [2.0, 2.0, 2.0])
+    np.testing.assert_allclose(shard.coords[1], [0.0, 0.0, 0.0])
+    assert delta == pytest.approx(6.0)
+    # accumulators reset
+    assert shard.acc_counts.sum() == 0
+
+
+def test_global_delta_seal_and_history():
+    delta = GlobalDelta()
+    assert delta.get() == float("inf")
+    delta.update(2.0)
+    delta.update(3.0)
+    assert delta.seal() == 5.0
+    assert delta.get() == 5.0
+    assert delta.get_history() == [5.0]
+    assert delta.delta == 0.0
+
+
+def test_global_weights_sgd_step():
+    weights = GlobalWeights(np.zeros(3), learning_rate=1.0)
+    weights.update(np.array([1.0, 2.0, 3.0]), loss=4.0, count=2)
+    loss = weights.advance()
+    assert loss == 2.0
+    np.testing.assert_allclose(weights.weights, [-0.5, -1.0, -1.5])
+    assert weights.acc_count == 0
+
+
+# -- driver validation ------------------------------------------------------------
+
+
+def test_kmeans_rejects_more_workers_than_partitions():
+    dataset = MLDataset("kmeans", **SMALL)
+    with pytest.raises(ValueError):
+        CrucialKMeans(dataset, k=2, iterations=1, workers=8)
+
+
+def test_logreg_rejects_more_workers_than_partitions():
+    dataset = MLDataset("logreg", **SMALL)
+    with pytest.raises(ValueError):
+        CrucialLogisticRegression(dataset, workers=8)
+
+
+def test_kmeans_convergence_threshold_stops_early():
+    dataset = MLDataset("kmeans", **SMALL)
+    with CrucialEnvironment(seed=91, dso_nodes=1) as env:
+        # A huge threshold satisfies the end condition right after the
+        # first iteration completes (Listing 2's endCondition()).
+        job = CrucialKMeans(dataset, k=3, iterations=30, workers=4,
+                            run_id="early", convergence_delta=1e12)
+        result = env.run(job.train)
+    assert result.iterations < 30
+    assert len(result.per_iteration) == result.iterations
+
+
+# -- local baseline ------------------------------------------------------------------
+
+
+def test_local_baseline_perfect_until_cores_exhausted():
+    with Kernel(seed=92) as kernel:
+        baseline = LocalKMeansBaseline(kernel, cores=4)
+
+        def main():
+            t1 = baseline.run(1, k=4, iterations=2,
+                              nominal_points_per_thread=100_000,
+                              dims=10).iteration_phase_time
+            t4 = baseline.run(4, k=4, iterations=2,
+                              nominal_points_per_thread=100_000,
+                              dims=10).iteration_phase_time
+            t8 = baseline.run(8, k=4, iterations=2,
+                              nominal_points_per_thread=100_000,
+                              dims=10).iteration_phase_time
+            return t1, t4, t8
+
+        t1, t4, t8 = kernel.run_main(main)
+    assert scale_up(t1, t4) == pytest.approx(1.0, abs=0.01)
+    assert scale_up(t1, t8) == pytest.approx(0.5, abs=0.02)
+
+
+# -- inference serving ---------------------------------------------------------------
+
+
+def test_deploy_model_places_replicated_objects():
+    with CrucialEnvironment(seed=93, dso_nodes=3) as env:
+        def main():
+            refs = deploy_model("m", k=12, rf=2)
+            assert len(refs) == 12
+            placements = [env.dso.placement_of(ref) for ref in refs]
+            assert all(len(p) == 2 for p in placements)
+            return len({p[0] for p in placements})
+
+        primaries = env.run(main)
+    assert primaries > 1  # spread across nodes
+
+
+def test_inference_load_counts_and_buckets():
+    with CrucialEnvironment(seed=94, dso_nodes=2) as env:
+        def main():
+            deploy_model("serve", k=10, rf=2)
+            return run_inference_load("serve", n_threads=4,
+                                      duration=3.0, n_objects=10)
+
+        result = env.run(main)
+    assert result.total > 0
+    assert sum(result.per_second) == result.total
+    assert result.throughput_between(0, 3) > 0
+
+
+def test_inference_survives_node_crash():
+    with CrucialEnvironment(seed=95, dso_nodes=3) as env:
+        def main():
+            from repro.simulation.thread import sleep, spawn
+
+            deploy_model("hard", k=10, rf=2)
+
+            def chaos():
+                sleep(1.0)
+                env.dso.crash_node(env.dso.live_nodes()[0].name)
+
+            spawn(chaos, daemon=True)
+            return run_inference_load("hard", n_threads=4,
+                                      duration=10.0, n_objects=10)
+
+        result = env.run(main)
+    # Inferences continue after the crash window (detection ~4 s).
+    late = sum(result.per_second[7:])
+    assert late > 0
+
+
+def test_model_references_are_stable():
+    refs_a = model_references("r", 5)
+    refs_b = model_references("r", 5)
+    assert refs_a == refs_b
+    assert all(ref.persistent and ref.rf == 2 for ref in refs_a)

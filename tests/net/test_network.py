@@ -1,0 +1,137 @@
+"""Unit tests for the network substrate."""
+
+import pytest
+
+from repro.errors import NetworkError, SerializationError
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.simulation.thread import now
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=13) as k:
+        yield k
+
+
+@pytest.fixture
+def network(kernel):
+    net = Network(kernel, LatencyModel(0.010))
+    net.register("a")
+    net.register("b")
+    return net
+
+
+def test_transfer_charges_latency(kernel, network):
+    def main():
+        network.transfer("a", "b", {"x": 1})
+        return now()
+
+    assert kernel.run_main(main) == pytest.approx(0.010)
+
+
+def test_transfer_copies_payload(kernel, network):
+    original = {"nested": [1, 2, 3]}
+
+    def main():
+        return network.transfer("a", "b", original)
+
+    shipped = kernel.run_main(main)
+    assert shipped == original
+    assert shipped is not original
+    assert shipped["nested"] is not original["nested"]
+
+
+def test_transfer_unserializable_payload_rejected(kernel, network):
+    def main():
+        network.transfer("a", "b", lambda: None)
+
+    with pytest.raises(SerializationError):
+        kernel.run_main(main)
+
+
+def test_transfer_to_dead_endpoint_fails(kernel, network):
+    network.endpoint("b").crash()
+
+    def main():
+        network.transfer("a", "b", 1)
+
+    with pytest.raises(NetworkError):
+        kernel.run_main(main)
+
+
+def test_crash_mid_flight_fails_transfer(kernel, network):
+    kernel.call_later(0.005, network.endpoint("b").crash)
+
+    def main():
+        network.transfer("a", "b", 1)
+
+    with pytest.raises(NetworkError):
+        kernel.run_main(main)
+
+
+def test_partition_blocks_both_directions(kernel, network):
+    network.partition({"a"}, {"b"})
+    assert not network.reachable("a", "b")
+    assert not network.reachable("b", "a")
+    network.heal()
+    assert network.reachable("a", "b")
+
+
+def test_link_override(kernel, network):
+    network.set_link("a", "b", LatencyModel(1.0))
+
+    def main():
+        network.transfer("a", "b", None, nbytes=0)
+        return now()
+
+    assert kernel.run_main(main) == pytest.approx(1.0)
+
+
+def test_bandwidth_term(kernel):
+    net = Network(kernel, LatencyModel(0.0, bandwidth=1000.0))
+    net.register("a")
+    net.register("b")
+
+    def main():
+        net.transfer("a", "b", None, nbytes=500)
+        return now()
+
+    assert kernel.run_main(main) == pytest.approx(0.5)
+
+
+def test_duplicate_registration_rejected(kernel, network):
+    with pytest.raises(NetworkError):
+        network.register("a")
+
+
+def test_unknown_endpoint_rejected(kernel, network):
+    with pytest.raises(NetworkError):
+        network.endpoint("zzz")
+
+
+def test_message_accounting(kernel, network):
+    def main():
+        network.transfer("a", "b", b"xxxx")
+        network.transfer("b", "a", b"yyyy")
+
+    kernel.run_main(main)
+    assert network.messages_sent == 2
+    assert network.bytes_sent > 0
+
+
+def test_latency_model_mean_and_scaling():
+    model = LatencyModel(0.1, sigma=0.0, bandwidth=100.0)
+    assert model.mean() == pytest.approx(0.1)
+    assert model.mean(nbytes=10) == pytest.approx(0.2)
+    assert model.scaled(2.0).base == pytest.approx(0.2)
+
+
+def test_latency_jitter_is_seeded(kernel):
+    model = LatencyModel(0.1, sigma=0.5)
+    rng_a = Kernel(seed=1).rng.stream("x")
+    rng_b = Kernel(seed=1).rng.stream("x")
+    samples_a = [model.sample(rng_a) for _ in range(10)]
+    samples_b = [model.sample(rng_b) for _ in range(10)]
+    assert samples_a == samples_b
+    assert len(set(samples_a)) > 1

@@ -1,0 +1,262 @@
+"""Unit tests for the discrete-event kernel and simulated threads."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimTimeoutError, SimulationError
+from repro.simulation import Kernel
+from repro.simulation.thread import now, sleep, spawn
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=7) as k:
+        yield k
+
+
+def test_clock_starts_at_zero(kernel):
+    assert kernel.now == 0.0
+
+
+def test_run_main_returns_value(kernel):
+    assert kernel.run_main(lambda: 42) == 42
+
+
+def test_run_main_propagates_exception(kernel):
+    def boom():
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        kernel.run_main(boom)
+
+
+def test_sleep_advances_virtual_time(kernel):
+    def main():
+        sleep(1.5)
+        return now()
+
+    assert kernel.run_main(main) == pytest.approx(1.5)
+
+
+def test_sleeps_accumulate(kernel):
+    def main():
+        sleep(1.0)
+        sleep(0.25)
+        return now()
+
+    assert kernel.run_main(main) == pytest.approx(1.25)
+
+
+def test_two_threads_interleave_in_time_order(kernel):
+    trace = []
+
+    def worker(label, delay):
+        sleep(delay)
+        trace.append((label, now()))
+
+    def main():
+        a = spawn(worker, "a", 2.0)
+        b = spawn(worker, "b", 1.0)
+        a.join()
+        b.join()
+
+    kernel.run_main(main)
+    assert trace == [("b", 1.0), ("a", 2.0)]
+
+
+def test_fifo_tie_break_at_equal_times(kernel):
+    trace = []
+
+    def worker(label):
+        sleep(1.0)
+        trace.append(label)
+
+    def main():
+        threads = [spawn(worker, i) for i in range(5)]
+        for t in threads:
+            t.join()
+
+    kernel.run_main(main)
+    assert trace == [0, 1, 2, 3, 4]
+
+
+def test_join_returns_after_target_finishes(kernel):
+    def worker():
+        sleep(3.0)
+        return "done"
+
+    def main():
+        t = spawn(worker)
+        t.join()
+        return now(), t.result()
+
+    assert kernel.run_main(main) == (3.0, "done")
+
+
+def test_join_propagates_worker_exception(kernel):
+    def worker():
+        raise RuntimeError("worker failed")
+
+    def main():
+        t = spawn(worker)
+        t.join()
+
+    with pytest.raises(RuntimeError, match="worker failed"):
+        kernel.run_main(main)
+
+
+def test_join_timeout(kernel):
+    def worker():
+        sleep(10.0)
+
+    def main():
+        t = spawn(worker)
+        with pytest.raises(SimTimeoutError):
+            t.join(timeout=1.0)
+        assert now() == pytest.approx(1.0)
+        t.join()
+        assert now() == pytest.approx(10.0)
+
+    kernel.run_main(main)
+
+
+def test_join_already_finished_thread(kernel):
+    def main():
+        t = spawn(lambda: "x")
+        sleep(1.0)
+        t.join()
+        return t.result()
+
+    assert kernel.run_main(main) == "x"
+
+
+def test_call_later_runs_callback_at_time(kernel):
+    fired = []
+    kernel.call_later(5.0, lambda: fired.append(kernel.now))
+    kernel.run()
+    assert fired == [5.0]
+
+
+def test_call_later_cancel(kernel):
+    fired = []
+    timer = kernel.call_later(5.0, lambda: fired.append(1))
+    timer.cancel()
+    kernel.run()
+    assert fired == []
+
+
+def test_run_until_time_limit(kernel):
+    fired = []
+    kernel.call_later(1.0, lambda: fired.append(1))
+    kernel.call_later(10.0, lambda: fired.append(2))
+    kernel.run(until=5.0)
+    assert fired == [1]
+    assert kernel.now == 5.0
+    kernel.run()
+    assert fired == [1, 2]
+
+
+def test_deadlock_detection(kernel):
+    from repro.simulation import Event
+
+    event = Event(kernel)
+
+    def main():
+        event.wait()
+
+    kernel.spawn(main)
+    with pytest.raises(DeadlockError):
+        kernel.run()
+
+
+def test_daemon_threads_do_not_trigger_deadlock(kernel):
+    from repro.simulation import Event
+
+    event = Event(kernel)
+
+    def background():
+        event.wait()
+
+    kernel.spawn(background, daemon=True)
+    kernel.run()  # should return quietly
+
+
+def test_negative_delay_rejected(kernel):
+    with pytest.raises(SimulationError):
+        kernel.call_later(-1.0, lambda: None)
+
+
+def test_thread_cannot_join_itself(kernel):
+    def main():
+        from repro.simulation.kernel import current_thread
+
+        current_thread().join()
+
+    with pytest.raises(SimulationError):
+        kernel.run_main(main)
+
+
+def test_close_tears_down_blocked_threads():
+    kernel = Kernel()
+
+    def stuck():
+        sleep(1e9)
+
+    kernel.spawn(stuck)
+    kernel.run(until=1.0)
+    kernel.close()  # must not hang
+
+
+def test_nested_spawn(kernel):
+    results = []
+
+    def grandchild():
+        sleep(1.0)
+        results.append(("gc", now()))
+
+    def child():
+        t = spawn(grandchild)
+        t.join()
+        results.append(("c", now()))
+
+    def main():
+        t = spawn(child)
+        t.join()
+        results.append(("m", now()))
+
+    kernel.run_main(main)
+    assert results == [("gc", 1.0), ("c", 1.0), ("m", 1.0)]
+
+
+def test_many_threads_scale(kernel):
+    def worker(i):
+        sleep(float(i % 10))
+        return i
+
+    def main():
+        threads = [spawn(worker, i) for i in range(200)]
+        for t in threads:
+            t.join()
+        return sum(t.result() for t in threads)
+
+    assert kernel.run_main(main) == sum(range(200))
+
+
+def test_determinism_across_kernels():
+    def experiment():
+        with Kernel(seed=3) as kernel:
+            trace = []
+
+            def worker(i):
+                delay = float(kernel.rng.stream("w").exponential(1.0))
+                sleep(delay)
+                trace.append((i, now()))
+
+            def main():
+                ts = [spawn(worker, i) for i in range(20)]
+                for t in ts:
+                    t.join()
+
+            kernel.run_main(main)
+            return trace
+
+    assert experiment() == experiment()

@@ -1,0 +1,90 @@
+"""Property-based tests on the kernel: determinism and time order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Kernel, Lock, Queue, Semaphore
+from repro.simulation.thread import now, sleep, spawn
+
+ACTIONS = st.sampled_from(["sleep", "lock", "sem", "queue_put",
+                           "queue_get"])
+
+
+def run_workload(seed: int, plans: list[list[str]]) -> list[tuple]:
+    """A mixed concurrent workload; returns an event trace."""
+    with Kernel(seed=seed) as kernel:
+        lock = Lock(kernel)
+        semaphore = Semaphore(kernel, permits=2)
+        queue = Queue(kernel)
+        trace: list[tuple] = []
+
+        def worker(tid: int, plan: list[str]):
+            rng = kernel.rng.stream(f"w{tid}")
+            for step, action in enumerate(plan):
+                if action == "sleep":
+                    sleep(float(rng.exponential(0.5)))
+                elif action == "lock":
+                    with lock:
+                        sleep(0.01)
+                elif action == "sem":
+                    with semaphore:
+                        sleep(0.02)
+                elif action == "queue_put":
+                    queue.put((tid, step))
+                else:
+                    queue.put((tid, "self"))  # keep it drainable
+                    queue.get()
+                trace.append((tid, step, action, round(now(), 9)))
+
+        def main():
+            threads = [spawn(worker, tid, plan)
+                       for tid, plan in enumerate(plans)]
+            for t in threads:
+                t.join()
+
+        kernel.run_main(main)
+        return trace
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       plans=st.lists(st.lists(ACTIONS, min_size=1, max_size=5),
+                      min_size=1, max_size=5))
+def test_workloads_are_deterministic(seed, plans):
+    assert run_workload(seed, plans) == run_workload(seed, plans)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       plans=st.lists(st.lists(ACTIONS, min_size=1, max_size=5),
+                      min_size=1, max_size=4))
+def test_per_thread_time_is_monotone(seed, plans):
+    trace = run_workload(seed, plans)
+    per_thread: dict[int, list[float]] = {}
+    for tid, _step, _action, timestamp in trace:
+        per_thread.setdefault(tid, []).append(timestamp)
+    for timestamps in per_thread.values():
+        assert timestamps == sorted(timestamps)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                       min_size=1, max_size=20))
+def test_sleep_completion_order_matches_delay_order(seed, delays):
+    with Kernel(seed=seed) as kernel:
+        finished: list[int] = []
+
+        def sleeper(index: int):
+            sleep(delays[index])
+            finished.append(index)
+
+        def main():
+            threads = [spawn(sleeper, i) for i in range(len(delays))]
+            for t in threads:
+                t.join()
+
+        kernel.run_main(main)
+    # Completion order sorts by (delay, spawn index) — FIFO tie-break.
+    expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert finished == expected

@@ -1,0 +1,91 @@
+"""Unit tests for the MLlib-equivalent algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLDataset
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.sparklike import KMeansMLlib, LogisticRegressionWithSGD, SparkCluster
+from repro.sparklike.mllib import read_dataset
+from repro.storage.object_store import ObjectStore
+
+SMALL = dict(partitions=4, materialized_points=2000,
+             nominal_points=50_000, nominal_bytes=10 ** 7)
+
+
+def build(seed=55):
+    kernel = Kernel(seed=seed)
+    network = Network(kernel, LatencyModel(2e-4), copy_messages=False)
+    cluster = SparkCluster(kernel, network, workers=2, cores_per_worker=4)
+    return kernel, cluster, ObjectStore(kernel)
+
+
+def test_read_dataset_charges_load_time():
+    kernel, cluster, store = build()
+    with kernel:
+        dataset = MLDataset("kmeans", **SMALL)
+
+        def main():
+            t0 = kernel.now
+            rdd = read_dataset(cluster, dataset, store)
+            return kernel.now - t0, rdd.num_partitions
+
+        elapsed, partitions = kernel.run_main(main)
+    assert partitions == 4
+    assert elapsed > 0.01  # transfer + parse at nominal scale
+
+
+def test_kmeans_mllib_converges():
+    kernel, cluster, store = build()
+    with kernel:
+        dataset = MLDataset("kmeans", **SMALL)
+        algorithm = KMeansMLlib(cluster, k=4, iterations=5)
+        result = kernel.run_main(lambda: algorithm.train(dataset, store))
+    assert result.model.shape == (4, dataset.features)
+    assert len(result.per_iteration) == 5
+    # Within-cluster cost decreases.
+    assert result.history[-1] < result.history[0]
+    assert result.total_time > result.load_time
+
+
+def test_logreg_mllib_loss_decreases():
+    kernel, cluster, store = build()
+    with kernel:
+        dataset = MLDataset("logreg", **SMALL)
+        algorithm = LogisticRegressionWithSGD(cluster, iterations=6)
+        result = kernel.run_main(lambda: algorithm.train(dataset, store))
+    assert result.model.shape == (dataset.features,)
+    assert result.history[-1] < result.history[0]
+
+
+def test_iteration_pays_mllib_overhead():
+    kernel, cluster, store = build()
+    with kernel:
+        dataset = MLDataset("kmeans", **SMALL)
+        algorithm = KMeansMLlib(cluster, k=2, iterations=2)
+        result = kernel.run_main(lambda: algorithm.train(dataset, store))
+    overhead = cluster.config.spark.mllib_kmeans_iteration_overhead
+    assert min(result.per_iteration) > overhead
+
+
+def test_spark_compute_inflation_visible():
+    from repro.ml.costmodel import kmeans_iteration_cost
+
+    plain = kmeans_iteration_cost(10_000, 10, 4)
+    spark = kmeans_iteration_cost(10_000, 10, 4, spark=True)
+    assert spark == pytest.approx(
+        plain * 1.08, rel=1e-9)
+
+
+def test_same_seed_same_model():
+    def once():
+        kernel, cluster, store = build(seed=77)
+        with kernel:
+            dataset = MLDataset("kmeans", **SMALL)
+            algorithm = KMeansMLlib(cluster, k=3, iterations=3, seed=9)
+            result = kernel.run_main(
+                lambda: algorithm.train(dataset, store))
+            return result.model
+
+    np.testing.assert_array_equal(once(), once())

@@ -1,0 +1,96 @@
+"""Tests for the shuffle / reduceByKey stage."""
+
+import pytest
+
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.sparklike import RDD, SparkCluster
+from repro.sparklike.shuffle import reduce_by_key, shuffle
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=211) as k:
+        yield k
+
+
+@pytest.fixture
+def cluster(kernel):
+    network = Network(kernel, LatencyModel(0.0002), copy_messages=False)
+    return SparkCluster(kernel, network, workers=3, cores_per_worker=4)
+
+
+def records(n):
+    return [(f"key-{i % 7}", i) for i in range(n)]
+
+
+def test_shuffle_groups_keys_into_one_partition(kernel, cluster):
+    def main():
+        rdd = RDD.parallelize(cluster, records(70), num_partitions=5)
+        shuffled = shuffle(rdd, num_partitions=4)
+        return shuffled.partitions
+
+    partitions = kernel.run_main(main)
+    locations: dict = {}
+    for index, partition in enumerate(partitions):
+        for key, _value in partition:
+            locations.setdefault(key, set()).add(index)
+    # Every key lands in exactly one output partition.
+    assert all(len(spots) == 1 for spots in locations.values())
+    total = sum(len(p) for p in partitions)
+    assert total == 70
+
+
+def test_shuffle_preserves_records(kernel, cluster):
+    def main():
+        rdd = RDD.parallelize(cluster, records(40), num_partitions=4)
+        shuffled = shuffle(rdd)
+        return sorted(sum(shuffled.partitions, []))
+
+    assert kernel.run_main(main) == sorted(records(40))
+
+
+def test_reduce_by_key_sums(kernel, cluster):
+    def main():
+        rdd = RDD.parallelize(cluster, records(70), num_partitions=5)
+        reduced = reduce_by_key(rdd, lambda a, b: a + b,
+                                num_partitions=3)
+        return sorted(sum(reduced.partitions, []))
+
+    result = dict(kernel.run_main(main))
+    expected: dict = {}
+    for key, value in records(70):
+        expected[key] = expected.get(key, 0) + value
+    assert result == expected
+
+
+def test_shuffle_charges_cross_executor_transfers(kernel, cluster):
+    def main():
+        rdd = RDD.parallelize(cluster, records(60), num_partitions=6)
+        before = cluster.network.messages_sent
+        shuffle(rdd, num_partitions=6)
+        return cluster.network.messages_sent - before
+
+    messages = kernel.run_main(main)
+    # P x R minus co-located pairs: with 6x6 on 3 executors, 2/3 of
+    # the 36 block transfers cross the network.
+    assert messages == pytest.approx(24, abs=6)
+
+
+def test_shuffle_takes_time(kernel, cluster):
+    def main():
+        rdd = RDD.parallelize(cluster, records(60), num_partitions=6)
+        t0 = kernel.now
+        shuffle(rdd)
+        return kernel.now - t0
+
+    assert kernel.run_main(main) > 0
+
+
+def test_empty_partitions_survive_shuffle(kernel, cluster):
+    def main():
+        rdd = RDD.parallelize(cluster, [("only", 1)], num_partitions=4)
+        reduced = reduce_by_key(rdd, lambda a, b: a + b)
+        return sorted(sum(reduced.partitions, []))
+
+    assert kernel.run_main(main) == [("only", 1)]

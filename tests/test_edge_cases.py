@@ -1,0 +1,198 @@
+"""Cross-cutting edge cases: thread lifecycle, partitions, costs."""
+
+import pytest
+
+from repro import CrucialEnvironment, dso_costs, shared
+from repro.dso import DsoLayer, DsoReference
+from repro.dso.layer import KvSlot
+from repro.errors import NetworkError, SimulationError
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep, spawn
+
+
+# -- SimThread lifecycle ----------------------------------------------------------
+
+
+def test_result_before_completion_rejected():
+    with Kernel(seed=231) as kernel:
+        def main():
+            thread = spawn(lambda: sleep(10.0))
+            with pytest.raises(SimulationError):
+                thread.result()
+            thread.join()
+
+        kernel.run_main(main)
+
+
+def test_double_start_rejected():
+    with Kernel(seed=232) as kernel:
+        def main():
+            thread = spawn(lambda: None)
+            with pytest.raises(SimulationError):
+                thread.start()
+            thread.join()
+
+        kernel.run_main(main)
+
+
+def test_join_twice_is_fine():
+    with Kernel(seed=233) as kernel:
+        def main():
+            thread = spawn(lambda: 42)
+            thread.join()
+            thread.join()
+            return thread.result()
+
+        assert kernel.run_main(main) == 42
+
+
+def test_failed_thread_exception_rethrown_per_join():
+    with Kernel(seed=234) as kernel:
+        def bad():
+            raise KeyError("x")
+
+        def main():
+            thread = spawn(bad)
+            for _ in range(2):
+                with pytest.raises(KeyError):
+                    thread.join()
+
+        kernel.run_main(main)
+
+
+def test_unobserved_failures_tracked():
+    with Kernel(seed=235) as kernel:
+        def bad():
+            raise RuntimeError("silent")
+
+        def main():
+            spawn(bad)
+            sleep(1.0)
+
+        kernel.run_main(main)
+        assert len(kernel.failed_threads) == 1
+
+
+# -- network partitions against the DSO ---------------------------------------------
+
+
+def test_partitioned_client_cannot_reach_dso():
+    with Kernel(seed=236) as kernel:
+        network = Network(kernel, LatencyModel(0.0001))
+        network.ensure_endpoint("client")
+        layer = DsoLayer(kernel, network)
+        node = layer.add_node()
+        ref = DsoReference("KvSlot", "p")
+
+        def main():
+            layer.put("client", "p", 1)
+            network.partition({"client"}, {node.name})
+            with pytest.raises(NetworkError):
+                layer.invoke("client", ref, "get",
+                             ctor=(KvSlot, (), {}))
+            network.heal()
+            return layer.get("client", "p")
+
+        assert kernel.run_main(main) == 1
+
+
+def test_replica_partition_stalls_smr_until_healed():
+    """SMR refuses to acknowledge while a replica is unreachable (it
+    could not guarantee durability); ops retry and complete once the
+    partition heals."""
+    with Kernel(seed=237) as kernel:
+        network = Network(kernel, LatencyModel(0.0001))
+        network.ensure_endpoint("client")
+        layer = DsoLayer(kernel, network)
+        for _ in range(2):
+            layer.add_node()
+        ref = DsoReference("KvSlot", "r", persistent=True, rf=2)
+
+        def main():
+            layer.invoke("client", ref, "set", (9,),
+                         ctor=(KvSlot, (), {}))
+            primary, backup = layer.placement_of(ref)
+            network.partition({primary}, {backup})
+            kernel.call_later(1.5, network.heal)
+            t0 = kernel.now
+            value = layer.invoke("client", ref, "get",
+                                 ctor=(KvSlot, (), {}))
+            return value, kernel.now - t0
+
+        value, elapsed = kernel.run_main(main)
+    assert value == 9
+    assert elapsed >= 1.5  # stalled for the partition's duration
+
+
+# -- dso_costs validation ---------------------------------------------------------------
+
+
+def test_dso_costs_rejects_unknown_method():
+    with pytest.raises(AttributeError):
+        @dso_costs(frobnicate=1.0)
+        class Nope:
+            def get(self):
+                return 1
+
+
+def test_dso_costs_constant_and_callable():
+    @dso_costs(slow=0.25, sized=lambda items: len(items) * 0.1)
+    class Job:
+        def slow(self):
+            return "done"
+
+        def sized(self, items):
+            return len(items)
+
+    with CrucialEnvironment(seed=238, dso_nodes=1) as env:
+        def main():
+            job = shared(Job, "job")
+            t0 = env.now
+            job.slow()
+            constant_elapsed = env.now - t0
+            t1 = env.now
+            job.sized([1, 2, 3])
+            sized_elapsed = env.now - t1
+            return constant_elapsed, sized_elapsed
+
+        constant_elapsed, sized_elapsed = env.run(main)
+    assert constant_elapsed >= 0.25
+    assert sized_elapsed >= 0.3
+
+
+def test_dso_costs_accumulate_across_decorations():
+    @dso_costs(a=1.0)
+    class Multi:
+        def a(self):
+            return 1
+
+        def b(self):
+            return 2
+
+    decorated = dso_costs(b=2.0)(Multi)
+    assert set(decorated.__dso_costs__) == {"a", "b"}
+
+
+# -- kv slot / raw path --------------------------------------------------------------
+
+
+def test_kv_slot_default_value():
+    slot = KvSlot()
+    assert slot.get() is None
+    slot.set([1, 2])
+    assert slot.get() == [1, 2]
+
+
+def test_raw_put_get_roundtrip_values():
+    with Kernel(seed=239) as kernel:
+        network = Network(kernel, LatencyModel(0.0001))
+        network.ensure_endpoint("client")
+        layer = DsoLayer(kernel, network)
+        layer.add_node()
+
+        def main():
+            layer.put("client", "complex", {"a": [1, 2], "b": None})
+            return layer.get("client", "complex")
+
+        assert kernel.run_main(main) == {"a": [1, 2], "b": None}

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the simulated cloud.
+
+The paper's headline fault-tolerance claims (Section 4.4, Fig. 8) are
+about behaviour *under failure*: FaaS retries with identical payloads,
+``rf - 1`` joint storage failures, recovery after node loss.  This
+package turns those scenarios into first-class, replayable inputs:
+
+* :class:`FaultPlan` / :class:`Fault` — a declarative schedule of
+  ``(at_time, kind, target, params)`` entries;
+* :class:`ChaosInjector` — executes a plan against a wired simulation
+  (network, DSO layer, FaaS platform) and logs every injection;
+* :class:`ChaosScheduleGenerator` — draws randomized plans from the
+  kernel's seeded RNG streams, so chaotic runs replay byte-identically.
+
+See ``tests/chaos`` for the invariants asserted under injected faults
+and the README's "Fault injection" section for a walkthrough.
+"""
+
+from repro.chaos.injector import ChaosInjector, FaultEvent, FaultLog
+from repro.chaos.plan import FAULT_KINDS, Fault, FaultPlan
+from repro.chaos.schedule import ChaosScheduleGenerator
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultLog",
+    "ChaosInjector",
+    "ChaosScheduleGenerator",
+]

@@ -1,0 +1,200 @@
+"""The chaos injector: executes fault plans against a wired simulation.
+
+Each fault is applied by its own simulated thread started exactly at
+the fault's virtual time (``Kernel.spawn_at``), so faults may block —
+crashing a node releases parked waiters, a timed fault sleeps until
+its end time and reverts itself.  Every injection and reversal is
+appended to a :class:`FaultLog`; with a fixed kernel seed two runs of
+the same plan produce byte-identical logs, which the chaos test suite
+asserts.
+
+The injector only *targets* layers it was given; a plan naming a layer
+the injector lacks fails fast at schedule time, not silently mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.chaos.plan import Fault, FaultPlan
+from repro.simulation.kernel import Kernel
+
+if TYPE_CHECKING:  # imported lazily to keep layer dependencies one-way
+    from repro.dso.layer import DsoLayer
+    from repro.faas.platform import FaasPlatform
+    from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One line of the fault log: a fault was injected or reverted."""
+
+    time: float
+    phase: str  # "inject" | "revert" | "noop"
+    kind: str
+    target: Any
+    detail: tuple[tuple[str, Any], ...]
+
+    def line(self) -> str:
+        detail = " ".join(f"{k}={v!r}" for k, v in self.detail)
+        return (f"t={self.time:.6f} {self.phase} {self.kind} "
+                f"target={self.target!r}" + (f" {detail}" if detail else ""))
+
+
+class FaultLog:
+    """Append-only record of everything the injector did."""
+
+    def __init__(self):
+        self.events: list[FaultEvent] = []
+
+    def append(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    def lines(self) -> list[str]:
+        return [event.line() for event in self.events]
+
+    def counts(self, phase: str = "inject") -> dict[str, int]:
+        """Number of logged events per fault kind, for one phase."""
+        totals: dict[str, int] = {}
+        for event in self.events:
+            if event.phase == phase:
+                totals[event.kind] = totals.get(event.kind, 0) + 1
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class ChaosInjector:
+    """Schedules and applies the faults of a :class:`FaultPlan`."""
+
+    def __init__(self, kernel: Kernel, network: "Network | None" = None,
+                 dso: "DsoLayer | None" = None,
+                 platform: "FaasPlatform | None" = None,
+                 name: str = "chaos"):
+        self.kernel = kernel
+        self.network = network
+        self.dso = dso
+        self.platform = platform
+        self.name = name
+        self.log = FaultLog()
+        self._scheduled = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, plan: FaultPlan) -> None:
+        """Arm every fault of ``plan`` at its virtual time.
+
+        Must be called before (or while) the kernel runs; fault times
+        are absolute virtual times.  Can be called repeatedly to
+        compose plans.
+        """
+        for fault in plan:
+            self._check_targets(fault)
+            index = self._scheduled
+            self._scheduled += 1
+            self.kernel.spawn_at(
+                fault.at, self._apply, fault, daemon=True,
+                name=f"{self.name}-{index}-{fault.kind}")
+
+    def _check_targets(self, fault: Fault) -> None:
+        needs = {
+            "crash_node": self.dso, "restart_node": self.dso,
+            "slow_node": self.dso, "kill_container": self.platform,
+            "partition": self.network, "heal": self.network,
+            "link_latency": self.network, "drop_messages": self.network,
+        }
+        if needs[fault.kind] is None:
+            raise ValueError(
+                f"fault {fault.kind!r} needs a layer this injector "
+                "was not given")
+
+    # -- application --------------------------------------------------------
+
+    def _apply(self, fault: Fault) -> None:
+        handler = getattr(self, f"_do_{fault.kind}")
+        handler(fault)
+
+    def _record(self, phase: str, fault: Fault, **detail: Any) -> None:
+        merged = dict(fault.params)
+        merged.update(detail)
+        self.log.append(FaultEvent(
+            time=self.kernel.now, phase=phase, kind=fault.kind,
+            target=fault.target,
+            detail=tuple(sorted(merged.items()))))
+
+    def _do_crash_node(self, fault: Fault) -> None:
+        node = self.dso.nodes.get(fault.target)
+        if node is None or not node.alive:
+            self._record("noop", fault)
+            return
+        self._record("inject", fault)
+        self.dso.crash_node(fault.target)
+
+    def _do_restart_node(self, fault: Fault) -> None:
+        node = self.dso.nodes.get(fault.target)
+        if node is None or node.alive:
+            self._record("noop", fault)
+            return
+        self.dso.restart_node(fault.target)
+        self._record("inject", fault)
+
+    def _do_partition(self, fault: Fault) -> None:
+        group_a, group_b = (tuple(g) for g in fault.params["groups"])
+        self.network.partition(set(group_a), set(group_b))
+        self._record("inject", fault)
+        duration = fault.duration
+        if duration is not None:
+            _sleep(duration)
+            self.network.unpartition(set(group_a), set(group_b))
+            self._record("revert", fault)
+
+    def _do_heal(self, fault: Fault) -> None:
+        self.network.heal()
+        self._record("inject", fault)
+
+    def _do_link_latency(self, fault: Fault) -> None:
+        src, dst = fault.target
+        factor = fault.params["factor"]
+        previous = self.network.link(src, dst)
+        self.network.set_link(src, dst, previous.scaled(factor))
+        self._record("inject", fault)
+        _sleep(fault.params["duration"])
+        self.network.set_link(src, dst, previous)
+        self._record("revert", fault)
+
+    def _do_drop_messages(self, fault: Fault) -> None:
+        src, dst = fault.target
+        self.network.set_drop_rate(src, dst, fault.params["rate"])
+        self._record("inject", fault)
+        duration = fault.duration
+        if duration is not None:
+            _sleep(duration)
+            self.network.set_drop_rate(src, dst, 0.0)
+            self._record("revert", fault)
+
+    def _do_kill_container(self, fault: Fault) -> None:
+        explicit = fault.params.get("container")
+        victims = ([explicit] if explicit
+                   else self.platform.busy_containers(fault.target))
+        killed = [name for name in victims
+                  if self.platform.kill_container(name)]
+        self._record("inject" if killed else "noop", fault, killed=killed)
+
+    def _do_slow_node(self, fault: Fault) -> None:
+        node = self.dso.nodes.get(fault.target)
+        if node is None or not node.alive:
+            self._record("noop", fault)
+            return
+        node.set_slow(fault.params["factor"])
+        self._record("inject", fault)
+        _sleep(fault.params["duration"])
+        node.slow_factor = 1.0
+        self._record("revert", fault)
+
+
+def _sleep(duration: float) -> None:
+    from repro.simulation.thread import sleep
+
+    sleep(duration)

@@ -1,0 +1,151 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`Fault` entries —
+``(at_time, kind, target, params)`` — describing *what* goes wrong and
+*when*, independent of any particular deployment.  The
+:class:`~repro.chaos.injector.ChaosInjector` executes a plan against a
+wired simulation; the :mod:`~repro.chaos.schedule` generator draws
+randomized plans from the kernel's seeded RNG streams so chaotic runs
+replay exactly.
+
+Fault kinds
+-----------
+
+=================  =========================  ==========================
+kind               target                     params
+=================  =========================  ==========================
+``crash_node``     DSO node name              —
+``restart_node``   DSO node name              —
+``partition``      —                          ``groups=(seq_a, seq_b)``,
+                                              optional ``duration``
+``heal``           —                          —
+``link_latency``   ``(src, dst)``             ``factor``, ``duration``
+``drop_messages``  ``(src, dst)``             ``rate``, optional
+                                              ``duration``
+``kill_container`` FaaS function name         optional ``container``
+``slow_node``      DSO node name              ``factor``, ``duration``
+=================  =========================  ==========================
+
+Timed faults (``duration``) revert automatically; the injector logs
+both the injection and the reversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+FAULT_KINDS = frozenset({
+    "crash_node",
+    "restart_node",
+    "partition",
+    "heal",
+    "link_latency",
+    "drop_messages",
+    "kill_container",
+    "slow_node",
+})
+
+#: Kinds whose effect ends by itself when ``duration`` is given.
+TIMED_KINDS = frozenset({
+    "partition", "link_latency", "drop_messages", "slow_node",
+})
+
+#: Parameters a kind cannot be injected without.
+_REQUIRED_PARAMS = {
+    "partition": ("groups",),
+    "link_latency": ("factor", "duration"),
+    "drop_messages": ("rate",),
+    "slow_node": ("factor", "duration"),
+}
+
+#: Kinds that act on a named node / function / link.
+_TARGETED_KINDS = frozenset({
+    "crash_node", "restart_node", "kill_container",
+    "link_latency", "drop_messages", "slow_node",
+})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: inject ``kind`` on ``target`` at ``at``."""
+
+    at: float
+    kind: str
+    target: Any = ""
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {sorted(FAULT_KINDS)}")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0: {self.at}")
+        duration = self.params.get("duration")
+        if duration is not None and duration <= 0:
+            raise ValueError(f"fault duration must be > 0: {duration}")
+        if "duration" in self.params and self.kind not in TIMED_KINDS:
+            raise ValueError(
+                f"{self.kind!r} does not take a duration "
+                "(pair it with an explicit restart/heal fault)")
+        for param in _REQUIRED_PARAMS.get(self.kind, ()):
+            if param not in self.params:
+                raise ValueError(f"{self.kind!r} requires {param!r}")
+        if self.kind in _TARGETED_KINDS and not self.target:
+            raise ValueError(f"{self.kind!r} requires a target")
+
+    @property
+    def duration(self) -> float | None:
+        return self.params.get("duration")
+
+    def describe(self) -> str:
+        params = {k: v for k, v in sorted(self.params.items())}
+        return f"t={self.at:.6f} {self.kind} target={self.target!r} {params}"
+
+
+class FaultPlan:
+    """An ordered collection of faults (sorted by injection time).
+
+    Build one declaratively::
+
+        plan = (FaultPlan()
+                .add(5.0, "crash_node", "dso-1")
+                .add(9.0, "restart_node", "dso-1")
+                .add(12.0, "slow_node", "dso-0", factor=8.0, duration=3.0))
+
+    Equal-time faults apply in insertion order (the sort is stable),
+    so a plan is itself a total order — one ingredient of replayable
+    chaos runs.
+    """
+
+    def __init__(self, faults: list[Fault] | None = None):
+        self._faults: list[Fault] = list(faults or [])
+
+    def add(self, at: float, kind: str, target: Any = "",
+            **params: Any) -> "FaultPlan":
+        """Append a fault; returns ``self`` for chaining."""
+        self._faults.append(Fault(at, kind, target, params))
+        return self
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """A new plan containing both plans' faults."""
+        return FaultPlan(self.faults + other.faults)
+
+    @property
+    def faults(self) -> list[Fault]:
+        return sorted(self._faults, key=lambda f: f.at)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.faults == other.faults
+
+    def describe(self) -> str:
+        return "\n".join(fault.describe() for fault in self.faults)

@@ -1,0 +1,105 @@
+"""Randomized chaos schedules, replayable from the kernel seed.
+
+The generator draws every decision — fault times, kinds, targets,
+magnitudes — from one named stream of the kernel's
+:class:`~repro.simulation.rng.RngRegistry`, so a schedule is a pure
+function of ``(kernel seed, stream name, generator arguments)``: two
+kernels built with the same seed produce identical plans, and a chaotic
+run replays exactly.  This is the property the determinism tests in
+``tests/chaos`` pin down.
+
+By default the generator keeps at most one DSO node down at a time
+(every ``crash_node`` is paired with a ``restart_node`` after
+``recovery`` seconds, and nodes already down are not re-crashed), so a
+generated schedule exercises exactly the paper's Section 4.4 failure
+model: ``rf - 1`` joint failures with ``rf = 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chaos.plan import FaultPlan
+from repro.simulation.kernel import Kernel
+
+
+class ChaosScheduleGenerator:
+    """Draws :class:`FaultPlan`\\ s from a seeded kernel RNG stream."""
+
+    def __init__(self, kernel: Kernel, name: str = "chaos"):
+        self._rng = kernel.rng.stream(f"chaos.{name}")
+
+    def generate(self, duration: float, *,
+                 nodes: Sequence[str] = (),
+                 links: Sequence[tuple[str, str]] = (),
+                 functions: Sequence[str] = (),
+                 mean_faults: int = 4,
+                 recovery: float = 8.0,
+                 kinds: Sequence[str] | None = None) -> FaultPlan:
+        """Generate ~``mean_faults`` faults over ``[0, duration)``.
+
+        ``nodes``/``links``/``functions`` name the allowed targets;
+        kinds without a target class are never drawn.  ``kinds``
+        restricts the drawn fault kinds further.  Crashed nodes
+        restart after ``recovery`` seconds and at most one node is
+        down at any moment.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0: {duration}")
+        candidates = []
+        if nodes:
+            candidates += ["crash_node", "slow_node"]
+        if links:
+            candidates += ["link_latency", "drop_messages", "partition"]
+        if functions:
+            candidates += ["kill_container"]
+        if kinds is not None:
+            candidates = [kind for kind in candidates if kind in kinds]
+        if not candidates:
+            raise ValueError("no fault kinds are drawable: give nodes, "
+                             "links or functions (and compatible kinds)")
+        count = max(1, int(self._rng.poisson(mean_faults)))
+        times = sorted(float(t) for t in
+                       self._rng.uniform(0.0, duration, size=count))
+        plan = FaultPlan()
+        down_until = {name: -1.0 for name in nodes}
+        for at in times:
+            kind = candidates[int(self._rng.integers(0, len(candidates)))]
+            if kind == "crash_node":
+                if any(until > at for until in down_until.values()):
+                    continue  # single-failure mode: one node down at a time
+                up = [n for n in nodes if down_until[n] <= at]
+                if len(up) < 2:
+                    continue  # never take the last node down
+                victim = up[int(self._rng.integers(0, len(up)))]
+                plan.add(at, "crash_node", victim)
+                plan.add(at + recovery, "restart_node", victim)
+                down_until[victim] = at + recovery
+            elif kind == "slow_node":
+                up = [n for n in nodes if down_until[n] <= at]
+                if not up:
+                    continue
+                victim = up[int(self._rng.integers(0, len(up)))]
+                plan.add(at, "slow_node", victim,
+                         factor=float(self._rng.uniform(2.0, 10.0)),
+                         duration=float(self._rng.uniform(0.5, 3.0)))
+            elif kind == "link_latency":
+                link = links[int(self._rng.integers(0, len(links)))]
+                plan.add(at, "link_latency", tuple(link),
+                         factor=float(self._rng.uniform(5.0, 50.0)),
+                         duration=float(self._rng.uniform(0.5, 3.0)))
+            elif kind == "drop_messages":
+                link = links[int(self._rng.integers(0, len(links)))]
+                plan.add(at, "drop_messages", tuple(link),
+                         rate=float(self._rng.uniform(0.1, 0.9)),
+                         duration=float(self._rng.uniform(0.5, 3.0)))
+            elif kind == "partition":
+                link = links[int(self._rng.integers(0, len(links)))]
+                plan.add(at, "partition",
+                         groups=((link[0],), (link[1],)),
+                         duration=float(self._rng.uniform(0.5, 3.0)))
+            elif kind == "kill_container":
+                function = functions[
+                    int(self._rng.integers(0, len(functions)))]
+                plan.add(at, "kill_container", function)
+        return plan

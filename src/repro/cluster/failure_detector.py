@@ -33,6 +33,10 @@ class HeartbeatFailureDetector:
         self.period = period
         self.timeout = timeout
         self.name = name
+        #: The detector is itself a network participant: heartbeats it
+        #: cannot reach (crash OR partition) count as silence, so
+        #: injected partitions trigger expulsion like real crashes do.
+        self.endpoint = network.ensure_endpoint(name)
         self.last_heartbeat: dict[str, float] = {}
         self.suspected: set[str] = set()
         self._thread: SimThread | None = None
@@ -50,8 +54,7 @@ class HeartbeatFailureDetector:
         while True:
             now = self.kernel.now
             for member in self.membership.view.members:
-                endpoint = self.network.endpoint(member)
-                if endpoint.alive:
+                if self.network.reachable(self.name, member):
                     # Heartbeat received this round.
                     self.last_heartbeat[member] = now
                     self.suspected.discard(member)

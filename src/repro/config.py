@@ -94,6 +94,10 @@ class DsoTimings:
     node_workers: int = 8
     #: Time to detect a crashed peer (view-synchrony failure detector).
     failure_detection: float = 4.0
+    #: Extra budget clients keep retrying transient failures beyond
+    #: detection + view installation: covers retry backoff quantisation
+    #: and the rebalancer re-homing the object after a view change.
+    retry_grace: float = 8.0
     #: Per-object state-transfer cost during rebalancing (includes the
     #: deliberate throttling real grids apply so rebalance does not
     #: starve foreground traffic), plus a fixed view-installation

@@ -164,6 +164,25 @@ class DsoLayer:
         if self._failure_detector is None:
             self.membership.report_crash(name)
 
+    def restart_node(self, name: str) -> DsoNode:
+        """Bring a crashed node back as a fresh, empty member.
+
+        Its previous containers died with the crash (in-memory store);
+        it rejoins the group and the rebalancer migrates objects onto
+        it.  Must run in a simulated thread if detection of the crash
+        is still pending (it waits for the expulsion view first, so
+        the join installs a clean successor view).
+        """
+        node = self.nodes[name]
+        if node.alive:
+            return node
+        while name in self.membership.view.members:
+            current_thread().sleep(self._retry_backoff)
+        node.node.restart()
+        node.slow_factor = 1.0
+        self.membership.join(node.node)
+        return node
+
     def remove_node(self, name: str) -> None:
         """Graceful departure: announce first, let rebalancing drain."""
         self.membership.leave(name)
@@ -189,8 +208,7 @@ class DsoLayer:
         method propagate to the caller.
         """
         kwargs = kwargs or {}
-        deadline = (self.kernel.now + self.config.dso.failure_detection
-                    + self.config.dso.view_change_pause + 8.0)
+        deadline = self.kernel.now + self._retry_deadline_pad()
         while True:
             try:
                 return self._invoke_once(client, ref, method, args, kwargs,
@@ -204,6 +222,13 @@ class DsoLayer:
                 if self.kernel.now >= deadline:
                     raise
                 current_thread().sleep(self._retry_backoff)
+
+    def _retry_deadline_pad(self) -> float:
+        """How long transient failures are retried before surfacing:
+        detection + view installation + the configured grace."""
+        timings = self.config.dso
+        return (timings.failure_detection + timings.view_change_pause
+                + timings.retry_grace)
 
     def get(self, client: str, key: str, rf: int = 1) -> Any:
         """Raw 1-value GET (the Table 2 code path)."""
@@ -228,8 +253,7 @@ class DsoLayer:
         node capacity — the quantity the experiment stresses — is
         modelled faithfully.  No cross-object atomicity is implied.
         """
-        deadline = (self.kernel.now + self.config.dso.failure_detection
-                    + self.config.dso.view_change_pause + 8.0)
+        deadline = self.kernel.now + self._retry_deadline_pad()
         while True:
             try:
                 return self._read_bulk_once(client, refs, method,
@@ -261,13 +285,16 @@ class DsoLayer:
         container = node.containers.get(ref.ident)
         if container is None or container.dead:
             raise _StaleContainer(f"{ref} not hosted on {target}")
-        node.node.workers._sem.acquire()
+        node.node.workers.acquire()
         try:
-            current_thread().sleep(self.config.dso.method_call_overhead
-                                   + cost)
+            current_thread().sleep((self.config.dso.method_call_overhead
+                                    + cost) * node.slow_factor)
+            if not node.alive or container.dead:
+                raise NodeCrashedError(
+                    f"{target} crashed during {ref}.{method} read")
             result = self._apply(container, method, args, {}, None)
         finally:
-            node.node.workers._sem.release()
+            node.node.workers.release()
         self.stats.invocations += 1
         return self.network.transfer(target, client, result)
 
@@ -365,7 +392,7 @@ class DsoLayer:
                 raise _StaleContainer(f"{ref} moved off {primary_name}")
             service = (raw_service if raw_service is not None
                        else self.config.dso.method_call_overhead)
-            current_thread().sleep(service + cost)
+            current_thread().sleep((service + cost) * node.slow_factor)
             if not node.alive or container.dead:
                 raise NodeCrashedError(
                     f"{primary_name} crashed during {ref}.{method}")
@@ -426,13 +453,14 @@ class DsoLayer:
             bcontainer = backup.containers.get(ref.ident)
             if bcontainer is None or bcontainer.dead:
                 continue
-            backup.node.workers._sem.acquire()
+            backup.node.workers.acquire()
             try:
                 current_thread().sleep(
-                    self.config.dso.smr_replica_overhead + cost)
+                    (self.config.dso.smr_replica_overhead + cost)
+                    * backup.slow_factor)
                 self._apply(bcontainer, method, args, kwargs, None)
             finally:
-                backup.node.workers._sem.release()
+                backup.node.workers.release()
         current_thread().sleep(hop.sample(rng))  # commit round back
 
     def _read_bulk_once(self, client: str, refs: Sequence[DsoReference],
@@ -449,9 +477,10 @@ class DsoLayer:
             self._connect(client, primary_name)
             self.network.transfer(client, primary_name,
                                   [refs[i].ident for i in indexes])
-            node.node.workers._sem.acquire()
+            node.node.workers.acquire()
             try:
-                current_thread().sleep(service_each * len(indexes))
+                current_thread().sleep(service_each * len(indexes)
+                                       * node.slow_factor)
                 if not node.alive:
                     raise NodeCrashedError(f"{primary_name} crashed mid-read")
                 for i in indexes:
@@ -460,7 +489,7 @@ class DsoLayer:
                         raise _StaleContainer(f"{refs[i]} moved")
                     results[i] = self._apply(container, method, (), {}, None)
             finally:
-                node.node.workers._sem.release()
+                node.node.workers.release()
             self.network.transfer(primary_name, client, len(indexes))
         self.stats.invocations += len(refs)
         return ship(results) if self.copy_instances else results

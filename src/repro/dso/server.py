@@ -39,7 +39,7 @@ class DsoCall:
         """Object lock first (linearization order), then a worker."""
         self.container.lock.acquire()
         self.lock_held = True
-        self.container.node.node.workers._sem.acquire()
+        self.container.node.node.workers.acquire()
         self.worker_held = True
 
     def release_worker(self) -> None:
@@ -50,7 +50,7 @@ class DsoCall:
         deadlock two saturated nodes replicating toward each other.
         """
         if self.worker_held:
-            self.container.node.node.workers._sem.release()
+            self.container.node.node.workers.release()
             self.worker_held = False
 
     def release(self) -> None:
@@ -127,6 +127,15 @@ class DsoNode:
         self.kernel = kernel
         self.node = Node(kernel, network, name, workers=workers)
         self.containers: dict[tuple[str, str], ObjectContainer] = {}
+        #: Service-time multiplier; the chaos layer raises it to model
+        #: a degraded node (noisy neighbour, GC storm, EBS stall).
+        self.slow_factor: float = 1.0
+
+    def set_slow(self, factor: float) -> None:
+        """Stretch every service time on this node by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"slow factor must be positive: {factor}")
+        self.slow_factor = factor
 
     @property
     def name(self) -> str:

@@ -126,6 +126,16 @@ class ThrottlingError(FaasError):
     """The platform's concurrency limit was exceeded."""
 
 
+class ContainerKilledError(FaasError):
+    """The container was reclaimed by the platform mid-invocation.
+
+    Real FaaS providers kill workers at will (host maintenance, spot
+    reclamation); the invoker sees the invocation fail and may retry
+    with the identical payload — the Section 4.4 failure model the
+    chaos layer injects on demand.
+    """
+
+
 class RetriesExhaustedError(FaasError):
     """A cloud thread failed more times than its retry policy allows."""
 

@@ -10,11 +10,13 @@ Models the properties Section 2.1 calls out:
 * **CPU scaling** — CPU share is proportional to configured memory;
   1792 MB buys one full vCPU (footnote 7), so ``ctx.compute(x)`` takes
   ``x / cpu_share`` wall seconds;
-* **failure semantics** — a function can fail for injected reasons;
-  the platform reports the error to the synchronous invoker, which may
+* **failure semantics** — a function can fail for injected reasons
+  (including the chaos layer killing its container mid-handler); the
+  platform reports the error to the synchronous invoker, which may
   retry with the exact same input (Section 4.4);
-* **billing** — per-invocation duration is metered at millisecond
-  granularity for the Table 3 cost model.
+* **billing** — per-invocation duration is metered and rounded up to
+  100 ms blocks (the paper-era Lambda billing granularity; AWS moved
+  to 1 ms rounding only in 2020) for the Table 3 cost model.
 
 Handlers execute in the invoking simulated thread (one per
 CloudThread), which is exactly Crucial's synchronous
@@ -25,11 +27,13 @@ from __future__ import annotations
 
 import itertools
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.errors import (
+    ContainerKilledError,
     FaasError,
     FunctionTimeoutError,
     InvocationError,
@@ -48,6 +52,8 @@ class _Container:
     last_used: float
     in_use: bool = False
     invocations: int = 0
+    #: Set when the platform reclaims the container (chaos kill).
+    dead: bool = False
 
 
 @dataclass
@@ -89,6 +95,10 @@ class FunctionContext:
         CPU share."""
         if cpu_seconds > 0:
             current_thread().sleep(cpu_seconds / self.cpu_share)
+        if self.container.dead:
+            raise ContainerKilledError(
+                f"{self.function_name}: container {self.container.name} "
+                "was killed while executing")
 
 
 @dataclass
@@ -196,40 +206,63 @@ class FaasPlatform:
         try:
             payload = ship(payload)
             container, cold = self._acquire_container(function)
-            startup = (timings.cold_start if cold
-                       else timings.warm_start).sample(self._rng)
-            current_thread().sleep(startup)
             start = self.kernel.now
-            deadline = start + function.timeout
-            ctx = FunctionContext(self, function, container, deadline)
             error: BaseException | None = None
             result: Any = None
-            fail_roll = (self._rng.random() < function.failure_rate
-                         if function.failure_rate > 0 else False)
-            if fail_roll and function.failure_kind == "before":
-                error = InvocationError(
-                    f"{function_name}: container {container.name} "
-                    "failed before execution")
-            else:
-                try:
-                    result = function.handler(ctx, payload)
-                except Exception as exc:  # noqa: BLE001 - reported to invoker
-                    error = InvocationError(
-                        f"{function_name}: handler raised {exc!r}", cause=exc)
-                if error is None and fail_roll and function.failure_kind == "after":
+            completed = False
+            try:
+                startup = (timings.cold_start if cold
+                           else timings.warm_start).sample(self._rng)
+                current_thread().sleep(startup)
+                start = self.kernel.now
+                deadline = start + function.timeout
+                ctx = FunctionContext(self, function, container, deadline)
+                fail_roll = (self._rng.random() < function.failure_rate
+                             if function.failure_rate > 0 else False)
+                if fail_roll and function.failure_kind == "before":
                     error = InvocationError(
                         f"{function_name}: container {container.name} "
-                        "failed after execution")
-            end = self.kernel.now
-            if error is None and end - start > function.timeout:
-                error = FunctionTimeoutError(
-                    f"{function_name}: exceeded {function.timeout}s limit")
-            self._release_container(container)
-            self.records.append(InvocationRecord(
-                function=function_name, container=container.name,
-                start=start, end=end, memory_mb=function.memory_mb,
-                cold_start=cold,
-                error=type(error).__name__ if error else None))
+                        "failed before execution")
+                else:
+                    try:
+                        result = function.handler(ctx, payload)
+                    except ContainerKilledError as exc:
+                        error = exc
+                    except Exception as exc:  # noqa: BLE001 - reported to invoker
+                        error = InvocationError(
+                            f"{function_name}: handler raised {exc!r}",
+                            cause=exc)
+                    if error is None and fail_roll \
+                            and function.failure_kind == "after":
+                        error = InvocationError(
+                            f"{function_name}: container {container.name} "
+                            "failed after execution")
+                if error is None and container.dead:
+                    error = ContainerKilledError(
+                        f"{function_name}: container {container.name} "
+                        "was killed mid-invocation")
+                if error is None and self.kernel.now - start > function.timeout:
+                    error = FunctionTimeoutError(
+                        f"{function_name}: exceeded {function.timeout}s limit")
+                completed = True
+            finally:
+                # The container is released and the invocation recorded
+                # even when a BaseException (kernel shutdown, a
+                # simulated crash unwinding through a DSO call)
+                # escapes; otherwise the container would be stranded
+                # ``in_use`` forever and billing would silently drop
+                # the aborted run.
+                self._release_container(container)
+                if completed:
+                    error_name = type(error).__name__ if error else None
+                else:
+                    exc_type = sys.exc_info()[0]
+                    error_name = exc_type.__name__ if exc_type else "Aborted"
+                self.records.append(InvocationRecord(
+                    function=function_name, container=container.name,
+                    start=start, end=self.kernel.now,
+                    memory_mb=function.memory_mb, cold_start=cold,
+                    error=error_name))
             current_thread().sleep(timings.response.sample(self._rng))
             if error is not None:
                 raise error
@@ -266,7 +299,7 @@ class FaasPlatform:
                         current_thread().sleep(2.0 * (attempt + 1))
             if dead_letter_queue is not None:
                 queue_service, queue_name = dead_letter_queue
-                queue_service._deliver(queue_name, {
+                queue_service.deliver(queue_name, {
                     "function": function.name,
                     "payload": payload,
                     "error": str(last_error),
@@ -310,6 +343,33 @@ class FaasPlatform:
     def _release_container(self, container: _Container) -> None:
         container.in_use = False
         container.last_used = self.kernel.now
+
+    def kill_container(self, container_name: str) -> bool:
+        """Reclaim a container, idle or mid-invocation (chaos hook).
+
+        The container leaves the warm pool immediately; an in-flight
+        invocation on it fails with :class:`ContainerKilledError` (at
+        its next ``ctx.compute`` at the latest).  Returns ``False`` if
+        no live container has that name.
+        """
+        for function in self._functions.values():
+            for container in function.containers:
+                if container.name == container_name:
+                    container.dead = True
+                    function.containers.remove(container)
+                    return True
+        return False
+
+    def busy_containers(self, function_name: str) -> list[str]:
+        """Names of containers currently executing an invocation."""
+        function = self._function(function_name)
+        return [c.name for c in function.containers if c.in_use]
+
+    def warm_container_count(self, function_name: str) -> int:
+        """Provisioned containers ready to serve (idle, not dead)."""
+        function = self._function(function_name)
+        return sum(1 for c in function.containers
+                   if not c.in_use and not c.dead)
 
     # -- telemetry ----------------------------------------------------------------------
 

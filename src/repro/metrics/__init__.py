@@ -2,7 +2,7 @@
 
 from repro.metrics.recorder import ThroughputTracker, TimeSeries, percentile
 from repro.metrics.cost import CostModel, ExperimentCost
-from repro.metrics.report import comparison_table, render_table
+from repro.metrics.report import comparison_table, fault_summary, render_table
 
 __all__ = [
     "TimeSeries",
@@ -12,4 +12,5 @@ __all__ = [
     "ExperimentCost",
     "render_table",
     "comparison_table",
+    "fault_summary",
 ]

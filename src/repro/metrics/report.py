@@ -44,6 +44,29 @@ def comparison_table(title: str,
         ["experiment", "paper", "measured", "ratio"], rows, title=title)
 
 
+def fault_summary(log, retries: dict[str, int] | None = None,
+                  title: str = "fault injection") -> str:
+    """Render a chaos run: injected/reverted faults per kind, plus any
+    per-layer retry counters.
+
+    ``log`` is a :class:`repro.chaos.injector.FaultLog` (anything with
+    ``counts(phase)``); ``retries`` maps a layer label to its retry
+    counter (e.g. ``{"dso": layer.stats.retries}``) so a report shows
+    the injected faults next to the recoveries they forced.
+    """
+    injected = log.counts("inject")
+    reverted = log.counts("revert")
+    skipped = log.counts("noop")
+    rows: list[tuple[str, Any, Any, Any]] = []
+    for kind in sorted(set(injected) | set(reverted) | set(skipped)):
+        rows.append((kind, injected.get(kind, 0), reverted.get(kind, 0),
+                     skipped.get(kind, 0)))
+    for layer, count in sorted((retries or {}).items()):
+        rows.append((f"{layer} retries", count, "-", "-"))
+    return render_table(["fault", "injected", "reverted", "noop"],
+                        rows, title=title)
+
+
 def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"

@@ -73,9 +73,11 @@ class Network:
         self._endpoints: dict[str, Endpoint] = {}
         self._links: dict[tuple[str, str], LatencyModel] = {}
         self._partitions: set[frozenset[str]] = set()
+        self._drop_rates: dict[tuple[str, str], float] = {}
         self._rng = kernel.rng.stream(f"net.{name}")
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
 
     # -- topology -----------------------------------------------------------
 
@@ -117,8 +119,40 @@ class Network:
             for b in group_b:
                 self._partitions.add(frozenset((a, b)))
 
+    def unpartition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Reconnect the pairs a matching :meth:`partition` cut.
+
+        Unlike :meth:`heal`, other partitions stay in force, so
+        overlapping injected partitions compose.
+        """
+        for a in group_a:
+            for b in group_b:
+                self._partitions.discard(frozenset((a, b)))
+
     def heal(self) -> None:
         self._partitions.clear()
+
+    def set_drop_rate(self, src: str, dst: str, rate: float,
+                      symmetric: bool = True) -> None:
+        """Drop each message on the link with probability ``rate``.
+
+        A dropped message still charges the sender its link latency
+        (the bytes left, they just never arrived), then surfaces as a
+        :class:`NetworkError` — indistinguishable, to the sender, from
+        the destination failing mid-flight, which is what forces the
+        upper layers' retry paths.  ``rate=0`` restores the link.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"drop rate {rate} outside [0, 1]")
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for pair in pairs:
+            if rate == 0.0:
+                self._drop_rates.pop(pair, None)
+            else:
+                self._drop_rates[pair] = rate
+
+    def drop_rate(self, src: str, dst: str) -> float:
+        return self._drop_rates.get((src, dst), 0.0)
 
     def reachable(self, src: str, dst: str) -> bool:
         if src == dst:
@@ -146,10 +180,15 @@ class Network:
             nbytes = payload_size(value) if self.copy_messages else 0
         shipped = ship(value) if self.copy_messages else value
         delay = self.link(src, dst).sample(self._rng, nbytes)
+        rate = self._drop_rates.get((src, dst), 0.0)
+        dropped = rate > 0.0 and float(self._rng.random()) < rate
         dst_epoch = self.endpoint(dst).epoch
         current_thread().sleep(delay)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if dropped:
+            self.messages_dropped += 1
+            raise NetworkError(f"message {src!r} -> {dst!r} dropped")
         if not self.reachable(src, dst) or self.endpoint(dst).epoch != dst_epoch:
             raise NetworkError(f"{dst!r} failed during transfer from {src!r}")
         return shipped

@@ -45,12 +45,12 @@ class ServerCall:
     # Admission control ------------------------------------------------------
 
     def _admit(self) -> None:
-        self.node.workers._sem.acquire()
+        self.node.workers.acquire()
         self._admitted = True
 
     def _leave(self) -> None:
         if self._admitted:
-            self.node.workers._sem.release()
+            self.node.workers.release()
             self._admitted = False
 
     def park(self) -> None:
@@ -64,7 +64,7 @@ class ServerCall:
         """Re-acquire a worker thread after waking."""
         if not self._parked:
             return
-        self.node.workers._sem.acquire()
+        self.node.workers.acquire()
         self._admitted = True
         self._parked = False
 

@@ -132,6 +132,21 @@ class Kernel:
         thread.start()
         return thread
 
+    def spawn_at(self, when: float, target: Callable[..., Any], *args,
+                 name: str | None = None, daemon: bool = False,
+                 **kwargs) -> Timer:
+        """Start a simulated thread once the clock reaches ``when``.
+
+        The fault-injection layer uses this to fire scheduled faults:
+        unlike :meth:`call_later` callbacks, the spawned thread may
+        block on simulation primitives (e.g. to release parked waiters
+        of a crashed node, or to sleep until a fault's end time).
+        Returns the :class:`Timer`; cancelling it before ``when``
+        prevents the spawn.
+        """
+        return self.call_at(when, lambda: self.spawn(
+            target, *args, name=name, daemon=daemon, **kwargs))
+
     # -- main loop --------------------------------------------------------
 
     def run(self, until: float | None = None) -> None:

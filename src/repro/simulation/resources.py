@@ -31,18 +31,31 @@ class Resource:
     def in_use(self) -> int:
         return self._busy
 
-    @contextmanager
-    def request(self):
-        """Hold one unit for the duration of the ``with`` block."""
+    def acquire(self) -> None:
+        """Claim one unit, queueing FIFO until one is free.
+
+        Prefer :meth:`request` where the hold is lexically scoped; the
+        explicit pair exists for callers whose acquire and release live
+        in different stack frames (e.g. a DSO call that parks).
+        """
         self._sem.acquire()
         self._account()
         self._busy += 1
+
+    def release(self) -> None:
+        """Return a unit previously claimed with :meth:`acquire`."""
+        self._account()
+        self._busy -= 1
+        self._sem.release()
+
+    @contextmanager
+    def request(self):
+        """Hold one unit for the duration of the ``with`` block."""
+        self.acquire()
         try:
             yield self
         finally:
-            self._account()
-            self._busy -= 1
-            self._sem.release()
+            self.release()
 
     def use(self, duration: float) -> None:
         """Occupy one unit for ``duration`` virtual seconds."""

@@ -52,4 +52,4 @@ class NotificationService:
             fan_out = self.config.storage.sqs_send.sample(self._rng)
             self.kernel.call_later(
                 fan_out,
-                lambda q=queue_name: self.queue_service._deliver(q, body))
+                lambda q=queue_name: self.queue_service.deliver(q, body))

@@ -71,13 +71,17 @@ class QueueService:
         """Send a message (charges SQS send latency)."""
         delay = self.config.storage.sqs_send.sample(self._rng)
         current_thread().sleep(delay)
-        self._deliver(queue_name, body)
+        self.deliver(queue_name, body)
 
-    def _deliver(self, queue_name: str, body: Any) -> None:
+    def deliver(self, queue_name: str, body: Any) -> None:
         """Enqueue without caller-side latency (service-side fan-in).
 
-        The message only becomes receivable after the delivery lag —
-        SQS's heavy-tailed propagation across its storage hosts.
+        The entry point for other *services* handing a message to the
+        queue — SNS fan-out, the FaaS platform's dead-letter delivery —
+        where the producer's request latency was already charged
+        elsewhere.  The message only becomes receivable after the
+        delivery lag — SQS's heavy-tailed propagation across its
+        storage hosts.
         """
         queue = self._queue(queue_name)
         receipt = f"r-{next(self._receipts)}"
@@ -88,6 +92,9 @@ class QueueService:
                     invisible_until=self.kernel.now + lag))
         self.send_count += 1
         self.kernel.call_later(lag, lambda: self._wake_waiters(queue))
+
+    #: Backwards-compatible alias (pre-1.1 internal name).
+    _deliver = deliver
 
     def _wake_waiters(self, queue: _Queue) -> None:
         for waiter in queue.waiters:

@@ -1,0 +1,149 @@
+"""Chaos tests for the FaaS platform's failure paths.
+
+Covers the regressions the fault-injection work flushed out: the
+container leak on non-``Exception`` escapes, mid-handler container
+kills, and ``ThrottlingError`` leaving the concurrency gauge balanced
+— plus the paper's Section 4.4 invariant that retries with identical
+payloads converge for idempotent applications.
+"""
+
+import pytest
+
+from repro.chaos import ChaosInjector, FaultPlan
+from repro.config import Config, FaasLimits
+from repro.dso import DsoLayer
+from repro.errors import ContainerKilledError, InvocationError, ThrottlingError
+from repro.faas import FaasPlatform
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep, spawn
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=77) as k:
+        yield k
+
+
+@pytest.fixture
+def network(kernel):
+    net = Network(kernel, LatencyModel(0.0005))
+    net.ensure_endpoint("driver")
+    return net
+
+
+@pytest.fixture
+def platform(kernel, network):
+    return FaasPlatform(kernel, network)
+
+
+def test_kill_container_mid_handler_platform_recovers(kernel, network,
+                                                      platform):
+    """A chaos kill mid-handler fails that invocation; the platform's
+    warm-container accounting recovers and a retry succeeds."""
+    platform.deploy("f", lambda ctx, payload: ctx.compute(2.0) or "ok")
+    injector = ChaosInjector(kernel, network=network, platform=platform)
+    injector.schedule(FaultPlan().add(1.5, "kill_container", "f"))
+
+    def main():
+        with pytest.raises(ContainerKilledError):
+            platform.invoke("driver", "f")
+        assert platform.busy_containers("f") == []
+        # Identical retry: a fresh container serves it.
+        return platform.invoke("driver", "f")
+
+    assert kernel.run_main(main) == "ok"
+    assert platform.busy_containers("f") == []
+    assert platform.warm_container_count("f") == 1
+    assert injector.log.counts("inject") == {"kill_container": 1}
+    assert [r.error for r in platform.records] == \
+        ["ContainerKilledError", None]
+
+
+def test_base_exception_escape_does_not_strand_container(kernel, platform):
+    """Regression: ``_release_container`` now runs in a ``finally``, so
+    a ``BaseException`` unwinding through the handler (a simulated
+    crash, kernel shutdown) cannot leave the container ``in_use``."""
+
+    class Unwind(BaseException):
+        pass
+
+    calls = []
+
+    def handler(ctx, payload):
+        calls.append(payload)
+        if len(calls) == 1:
+            raise Unwind()
+        return "recovered"
+
+    platform.deploy("f", handler)
+
+    def main():
+        with pytest.raises(Unwind):
+            platform.invoke("driver", "f", "x")
+        assert platform.busy_containers("f") == []
+        assert platform.warm_container_count("f") == 1
+        return platform.invoke("driver", "f", "x")
+
+    assert kernel.run_main(main) == "recovered"
+    # The aborted invocation is recorded, not silently dropped.
+    assert [r.error for r in platform.records] == ["Unwind", None]
+    assert platform.records[0].container == platform.records[1].container
+
+
+def test_throttling_leaves_active_gauge_balanced(kernel, network):
+    config = Config(faas_limits=FaasLimits(max_concurrency=1))
+    platform = FaasPlatform(kernel, network, config=config)
+    platform.deploy("f", lambda ctx, payload: ctx.compute(1.0))
+    platform.pre_warm("f", 2)
+    throttled = []
+
+    def worker():
+        try:
+            platform.invoke("driver", "f")
+        except ThrottlingError as exc:
+            throttled.append(exc)
+
+    def main():
+        threads = [spawn(worker) for _ in range(2)]
+        for thread in threads:
+            thread.join()
+        # The gauge drained; the platform accepts new work.
+        platform.invoke("driver", "f")
+
+    kernel.run_main(main)
+    assert len(throttled) == 1
+    assert platform._active == 0
+
+
+def test_identical_payload_retries_converge_for_idempotent_app(
+        kernel, network, platform):
+    """Section 4.4: the platform may fail *after* side effects; an
+    idempotent handler retried with the identical payload converges."""
+    layer = DsoLayer(kernel, network)
+    layer.add_node()
+
+    def handler(ctx, payload):
+        layer.put(ctx.endpoint, "slot", payload)  # idempotent overwrite
+        return payload
+
+    platform.deploy("store", handler)
+    platform.inject_failures("store", rate=0.7, kind="after")
+
+    def main():
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                platform.invoke("driver", "store", "v1")
+                break
+            except InvocationError:
+                sleep(0.1)
+        return attempts, layer.get("driver", "slot")
+
+    attempts, stored = kernel.run_main(main)
+    assert stored == "v1"
+    assert attempts >= 1
+    # Every failed attempt still executed the handler (failure kind
+    # "after"), yet the final state shows exactly the intended value.
+    assert platform.invocation_count("store") == attempts

@@ -1,0 +1,98 @@
+"""Unit tests for fault plans and the randomized schedule generator."""
+
+import pytest
+
+from repro.chaos import ChaosScheduleGenerator, Fault, FaultPlan
+from repro.simulation import Kernel
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError):
+        Fault(1.0, "set_on_fire", "dso-0")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        Fault(-0.5, "crash_node", "dso-0")
+
+
+def test_required_params_enforced():
+    with pytest.raises(ValueError):
+        Fault(1.0, "slow_node", "dso-0")  # factor + duration missing
+    with pytest.raises(ValueError):
+        Fault(1.0, "partition")  # groups missing
+    with pytest.raises(ValueError):
+        Fault(1.0, "drop_messages", ("a", "b"))  # rate missing
+
+
+def test_duration_only_on_timed_kinds():
+    with pytest.raises(ValueError):
+        Fault(1.0, "crash_node", "dso-0", {"duration": 2.0})
+
+
+def test_targeted_kinds_need_a_target():
+    with pytest.raises(ValueError):
+        Fault(1.0, "crash_node")
+
+
+def test_plan_iterates_in_time_order_stably():
+    plan = (FaultPlan()
+            .add(5.0, "crash_node", "b")
+            .add(1.0, "crash_node", "a")
+            .add(5.0, "restart_node", "c"))
+    ordered = [(f.at, f.kind, f.target) for f in plan]
+    assert ordered == [(1.0, "crash_node", "a"),
+                       (5.0, "crash_node", "b"),
+                       (5.0, "restart_node", "c")]
+
+
+def test_plan_merge_and_equality():
+    a = FaultPlan().add(1.0, "heal")
+    b = FaultPlan().add(2.0, "crash_node", "n0")
+    merged = a.merge(b)
+    assert len(merged) == 2
+    assert merged == (FaultPlan()
+                      .add(2.0, "crash_node", "n0")
+                      .add(1.0, "heal"))
+
+
+def test_generator_is_deterministic_per_seed():
+    def draw(seed):
+        with Kernel(seed=seed) as kernel:
+            generator = ChaosScheduleGenerator(kernel)
+            return generator.generate(
+                30.0,
+                nodes=["n0", "n1", "n2"],
+                links=[("n0", "n1"), ("n1", "n2")],
+                functions=["f"],
+                mean_faults=6)
+
+    first, second = draw(42), draw(42)
+    assert first == second
+    assert first.describe() == second.describe()
+    assert len(first) >= 1
+
+
+def test_generator_pairs_crashes_with_restarts():
+    with Kernel(seed=9) as kernel:
+        generator = ChaosScheduleGenerator(kernel)
+        plan = generator.generate(60.0, nodes=["n0", "n1", "n2"],
+                                  kinds=["crash_node"], mean_faults=10)
+    crashes = [f for f in plan if f.kind == "crash_node"]
+    restarts = [f for f in plan if f.kind == "restart_node"]
+    assert len(crashes) == len(restarts) >= 1
+    # Single-failure mode: a crash never lands while a node is down.
+    down_until = 0.0
+    for fault in plan:
+        if fault.kind == "crash_node":
+            assert fault.at >= down_until
+            down_until = fault.at + 8.0
+
+
+def test_generator_needs_targets():
+    with Kernel(seed=3) as kernel:
+        generator = ChaosScheduleGenerator(kernel)
+        with pytest.raises(ValueError):
+            generator.generate(10.0)
+        with pytest.raises(ValueError):
+            generator.generate(10.0, nodes=["n0"], kinds=["kill_container"])

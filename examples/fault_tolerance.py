@@ -10,13 +10,13 @@ Demonstrates the two halves of Section 4.4:
 """
 
 from repro import (
+    RUNNER_FUNCTION,
     AtomicLong,
     CloudThread,
     CrucialEnvironment,
     RetryPolicy,
     SharedMap,
 )
-from repro.core.runtime import RUNNER_FUNCTION
 from repro.errors import ObjectLostError
 
 

@@ -8,8 +8,13 @@ work does, while PyWren pays storage latency plus poll quantization —
 the Section 6.3.1 story at example scale.
 """
 
-from repro import AtomicLong, CloudThread, CountDownLatch, CrucialEnvironment
-from repro.core.runtime import current_environment
+from repro import (
+    AtomicLong,
+    CloudThread,
+    CountDownLatch,
+    CrucialEnvironment,
+    current_environment,
+)
 from repro.pywren import PyWrenExecutor
 
 INPUTS = list(range(24))

@@ -4,14 +4,28 @@ A multi-threaded program where the threads are serverless functions
 and the shared counter lives in the DSO layer.  Run with::
 
     python examples/quickstart.py
+
+Pass ``--trace [trace.json]`` to record a distributed trace of the
+run: an ASCII span tree plus the critical path are printed, and the
+Chrome trace-event JSON (loadable in https://ui.perfetto.dev) is
+written to the given path (default ``quickstart_trace.json``).
 """
 
 import math
+import sys
 
 import numpy as np
 
-from repro import AtomicLong, CloudThread, CrucialEnvironment
-from repro.core.runtime import compute, current_environment
+from repro import (
+    AtomicLong,
+    CloudThread,
+    CrucialEnvironment,
+    compute,
+    critical_path_summary,
+    current_environment,
+    span_tree,
+    write_chrome_trace,
+)
 from repro.ml.costmodel import montecarlo_cost
 
 N_THREADS = 16
@@ -35,8 +49,9 @@ class PiEstimator:
         self.counter.add_and_get(count)
 
 
-def main():
-    with CrucialEnvironment(seed=42, dso_nodes=1) as env:
+def main(trace: bool = False, trace_path: str = "quickstart_trace.json"):
+    with CrucialEnvironment(seed=42, dso_nodes=1,
+                            trace_enabled=trace) as env:
         def client_application():
             threads = [CloudThread(PiEstimator(i))
                        for i in range(N_THREADS)]
@@ -48,6 +63,15 @@ def main():
             return 4.0 * total / (N_THREADS * ITERATIONS), env.now
 
         estimate, elapsed = env.run(client_application)
+        if trace:
+            tracer = env.kernel.tracer
+            print(span_tree(tracer, max_depth=4, min_duration=1e-4))
+            print()
+            print(critical_path_summary(tracer))
+            print()
+            print(f"chrome trace written to "
+                  f"{write_chrome_trace(trace_path, tracer)}")
+            print()
     print(f"pi  ~= {estimate:.6f}   (error {abs(estimate - math.pi):.2e})")
     print(f"ran {N_THREADS} cloud threads x {ITERATIONS:,} draws "
           f"in {elapsed:.2f} simulated seconds")
@@ -55,4 +79,9 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    args = sys.argv[1:]
+    if args and args[0] == "--trace":
+        main(trace=True, trace_path=(args[1] if len(args) > 1
+                                     else "quickstart_trace.json"))
+    else:
+        main()

@@ -28,6 +28,15 @@ Quickstart::
             for t in threads: t.join()
             return AtomicLong("counter").get()
         print(env.run(main))  # -> 4
+
+**This module is the public API.**  Everything in Table 1 of the paper
+— plus the observability entry points (``Tracer``, ``trace_enabled``
+and the exporters in :mod:`repro.trace`) — is re-exported here, and
+only names listed in ``__all__`` are covered by compatibility
+guarantees.  The ``repro.core.*``, ``repro.simulation.*``,
+``repro.faas.*``, ``repro.dso.*`` ... submodules are internal:
+import from ``repro`` (or ``repro.trace`` for the exporters), not
+from the implementation packages.
 """
 
 from repro.config import Config, DEFAULT_CONFIG
@@ -52,14 +61,28 @@ from repro.core import (
     run_all,
     shared,
 )
+from repro.core.runtime import RUNNER_FUNCTION, compute, current_location
+from repro.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_json,
+    critical_path_summary,
+    span_tree,
+    trace_enabled,
+    write_chrome_trace,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Config",
     "DEFAULT_CONFIG",
     "CrucialEnvironment",
     "current_environment",
+    "current_location",
+    "compute",
+    "RUNNER_FUNCTION",
     "CloudThread",
     "RetryPolicy",
     "run_all",
@@ -77,5 +100,13 @@ __all__ = [
     "Semaphore",
     "Future",
     "CountDownLatch",
+    "Tracer",
+    "Span",
+    "TraceContext",
+    "trace_enabled",
+    "span_tree",
+    "critical_path_summary",
+    "chrome_trace_json",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -7,6 +7,10 @@
   ``Future``, ``CountDownLatch``;
 * :func:`shared` — user-defined shared objects (the ``@Shared``
   annotation), with ``persistent=True`` enabling replication.
+
+.. note:: ``repro.core`` and its submodules are **internal**.  Import
+   these names from the top-level :mod:`repro` package instead; the
+   submodule layout may change without notice.
 """
 
 from repro.core.runtime import CrucialEnvironment, current_environment

@@ -13,15 +13,23 @@ retry policy (Section 4.4) controls automatic re-invocation with the
 exact same input — soundness under re-execution (idempotence) is the
 application's responsibility, typically via a shared iteration
 counter.
+
+When tracing is enabled, every CloudThread contributes one
+``cloudthread:<name>`` span covering dispatch through completion, with
+each invocation attempt as a child — so retries appear as sibling
+spans — and the trace context travels *inside* the marshalled payload
+(:class:`repro.trace.TracedRunnable`), nesting container-side work
+under the client's dispatch span.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.runtime import RUNNER_FUNCTION, current_environment
-from repro.errors import FaasError, RetriesExhaustedError
+from repro.errors import FaasError, RetriesExhaustedError, SimTimeoutError
 from repro.simulation.kernel import current_kernel, current_thread
 
 
@@ -52,7 +60,21 @@ class CloudThread:
         self.retry_policy = retry_policy or RetryPolicy()
         self.function_name = function_name
         self.attempts = 0
-        self._thread = None
+        self._sim_thread = None
+        self._span = None
+
+    @property
+    def _thread(self):
+        """Deprecated accessor for the backing simulated thread.
+
+        Reaching into the simulation internals bypasses the public
+        contract (``join``/``result``/``is_alive``); it remains only
+        for backwards compatibility.
+        """
+        warnings.warn(
+            "CloudThread._thread is deprecated; use join(), result(), "
+            "done or is_alive() instead", DeprecationWarning, stacklevel=2)
+        return self._sim_thread
 
     def start(self) -> "CloudThread":
         """Dispatch the invocation; returns immediately.
@@ -63,21 +85,58 @@ class CloudThread:
         creation overhead Fig. 2b and Fig. 3 attribute sub-linear
         scaling to.
         """
-        if self._thread is not None:
+        if self._sim_thread is not None:
             raise RuntimeError(f"{self.name} already started")
         env = current_environment()
-        current_thread().sleep(env.config.faas_timings.dispatch_overhead)
-        self._thread = current_kernel().spawn(
-            self._invoke_with_retries, env, name=self.name)
+        kernel = current_kernel()
+        tracer = kernel.tracer
+        # The root span for this cloud thread's whole remote lifetime:
+        # started here (client side, before the dispatch sleep), ended
+        # by the invocation thread when the last attempt settles.
+        self._span = tracer.start_span(
+            f"cloudthread:{self.name}", kind="client",
+            endpoint=env.client_endpoint,
+            attributes={"function": self.function_name}, activate=False)
+        with tracer.use(self._span):
+            with tracer.span("cloudthread.dispatch", kind="client",
+                             endpoint=env.client_endpoint):
+                current_thread().sleep(
+                    env.config.faas_timings.dispatch_overhead)
+            # spawn() propagates the active span (the root) to the
+            # invocation thread, so attempts nest under it.
+            self._sim_thread = kernel.spawn(
+                self._invoke_with_retries, env, name=self.name)
+        if tracer.enabled:
+            # Attribute the root span to the invocation thread's track
+            # so concurrent cloud threads render as parallel timelines.
+            self._span.thread = self._sim_thread.tid
+            self._span.thread_name = self._sim_thread.name
         return self
 
     def _invoke_with_retries(self, env) -> Any:
+        tracer = env.kernel.tracer
+        try:
+            result = self._attempt_loop(env, tracer)
+        except BaseException as exc:
+            tracer.end_span(self._span, error=type(exc).__name__)
+            raise
+        tracer.end_span(self._span)
+        return result
+
+    def _attempt_loop(self, env, tracer) -> Any:
         last_error: FaasError | None = None
         for attempt in range(self.retry_policy.max_retries + 1):
             self.attempts = attempt + 1
             try:
-                return env.platform.invoke(
-                    env.client_endpoint, self.function_name, self.runnable)
+                with tracer.span("cloudthread.attempt", kind="client",
+                                 endpoint=env.client_endpoint,
+                                 attributes={"attempt": attempt + 1}):
+                    # The trace context rides inside the marshalled
+                    # payload: container-side spans re-attach to this
+                    # attempt even across the pickle boundary.
+                    payload = tracer.wrap_payload(self.runnable)
+                    return env.platform.invoke(
+                        env.client_endpoint, self.function_name, payload)
             except FaasError as exc:
                 last_error = exc
                 if attempt < self.retry_policy.max_retries:
@@ -86,25 +145,46 @@ class CloudThread:
             f"{self.name}: failed {self.attempts} time(s); "
             f"last error: {last_error}") from last_error
 
-    def join(self, timeout: float | None = None) -> None:
+    def join(self, timeout: float | None = None) -> bool:
         """Block until the remote invocation completes.
 
-        Re-raises the function's failure in the joiner, mirroring how
-        "the error is propagated back to the client application".
+        Returns ``True`` once the thread has finished — re-raising the
+        function's failure in the joiner, mirroring how "the error is
+        propagated back to the client application" — or ``False`` if
+        ``timeout`` virtual seconds elapsed first (the thread is still
+        running; ``join`` may be called again).
         """
-        if self._thread is None:
+        if self._sim_thread is None:
             raise RuntimeError(f"{self.name} was never started")
-        self._thread.join(timeout)
+        try:
+            self._sim_thread.join(timeout)
+        except SimTimeoutError:
+            if timeout is None:  # pragma: no cover - defensive
+                raise
+            return False
+        return True
 
     def result(self) -> Any:
-        """The Runnable's return value (after join)."""
-        if self._thread is None:
+        """The Runnable's return value; joins implicitly if needed.
+
+        Matching ``concurrent.futures`` expectations: calling
+        ``result()`` on a running thread blocks until it completes,
+        re-raising its failure.
+        """
+        if self._sim_thread is None:
             raise RuntimeError(f"{self.name} was never started")
-        return self._thread.result()
+        if not self._sim_thread.done:
+            self.join()
+        return self._sim_thread.result()
 
     @property
     def done(self) -> bool:
-        return self._thread is not None and self._thread.done
+        return self._sim_thread is not None and self._sim_thread.done
+
+    def is_alive(self) -> bool:
+        """True while the invocation is still in flight
+        (``threading.Thread.is_alive`` semantics)."""
+        return self._sim_thread is not None and not self._sim_thread.done
 
 
 def run_all(runnables: list[Any],
@@ -112,11 +192,11 @@ def run_all(runnables: list[Any],
     """Fork/join helper: start one CloudThread per runnable, join all.
 
     The Listing 1 pattern (``threads.forEach(start); forEach(join)``)
-    as one call.  Returns the runnables' results in order.
+    as one call.  Applies ``retry_policy`` to every thread and returns
+    the runnables' results in order — no caller-side ``join`` needed
+    (``result()`` joins implicitly).
     """
     threads = [CloudThread(r, retry_policy=retry_policy) for r in runnables]
     for thread in threads:
         thread.start()
-    for thread in threads:
-        thread.join()
     return [thread.result() for thread in threads]

@@ -89,9 +89,12 @@ class CrucialEnvironment:
     def __init__(self, kernel: Kernel | None = None, seed: int = 0,
                  dso_nodes: int = 1, config: Config = DEFAULT_CONFIG,
                  function_memory_mb: int = 1792,
-                 copy_messages: bool = True):
+                 copy_messages: bool = True,
+                 trace_enabled: bool = False):
         self._owns_kernel = kernel is None
         self.kernel = kernel or Kernel(seed=seed)
+        if trace_enabled:
+            self.kernel.enable_tracing()
         self.config = config
         self.network = Network(
             self.kernel,
@@ -135,18 +138,37 @@ class CrucialEnvironment:
     # -- the generic runner function -------------------------------------------
 
     def _run_runnable(self, ctx: FunctionContext, runnable: Any) -> Any:
-        """Execute a shipped Runnable inside a function container."""
+        """Execute a shipped Runnable inside a function container.
+
+        When the payload is a :class:`repro.trace.TracedRunnable`, the
+        embedded trace context — which crossed the (simulated) wire
+        inside the marshalled payload — is re-attached first, so the
+        container-side ``runnable:*`` span nests under the client's
+        dispatch span even across the pickle boundary.
+        """
+        from repro.trace.tracer import TracedRunnable
+
+        tracer = self.kernel.tracer
+        context = None
+        if isinstance(runnable, TracedRunnable):
+            context = runnable.context
+            runnable = runnable.runnable
         previous_name = current_location()
         previous_share = current_cpu_share()
         _set_location(ctx.endpoint, ctx.cpu_share)
         try:
-            run = getattr(runnable, "run", None)
-            if callable(run):
-                return run()
-            if callable(runnable):
-                return runnable()
-            raise TypeError(
-                f"payload of type {type(runnable).__name__} is not runnable")
+            with tracer.attach(context):
+                with tracer.span(
+                        f"runnable:{type(runnable).__name__}",
+                        kind="server", endpoint=ctx.endpoint):
+                    run = getattr(runnable, "run", None)
+                    if callable(run):
+                        return run()
+                    if callable(runnable):
+                        return runnable()
+                    raise TypeError(
+                        f"payload of type {type(runnable).__name__} "
+                        "is not runnable")
         finally:
             _set_location(previous_name, previous_share)
 

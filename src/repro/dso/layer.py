@@ -208,20 +208,32 @@ class DsoLayer:
         method propagate to the caller.
         """
         kwargs = kwargs or {}
-        deadline = self.kernel.now + self._retry_deadline_pad()
-        while True:
-            try:
-                return self._invoke_once(client, ref, method, args, kwargs,
-                                         ctor, cost, raw_service)
-            except (_StaleContainer, NetworkError, NodeCrashedError) as exc:
-                self.stats.retries += 1
-                placement = self._placements.get(ref.ident)
-                if placement is not None and placement.lost:
-                    raise ObjectLostError(
-                        f"{ref} was lost in a storage-node failure") from exc
-                if self.kernel.now >= deadline:
-                    raise
-                current_thread().sleep(self._retry_backoff)
+        tracer = self.kernel.tracer
+        with tracer.span(f"dso.invoke:{ref.type_name}.{method}",
+                         kind="client", endpoint=client,
+                         attributes={"key": ref.key, "rf": ref.rf}) as span:
+            deadline = self.kernel.now + self._retry_deadline_pad()
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = self._invoke_once(client, ref, method, args,
+                                               kwargs, ctor, cost,
+                                               raw_service)
+                    if attempts > 1:
+                        span.set("retries", attempts - 1)
+                    return result
+                except (_StaleContainer, NetworkError,
+                        NodeCrashedError) as exc:
+                    self.stats.retries += 1
+                    placement = self._placements.get(ref.ident)
+                    if placement is not None and placement.lost:
+                        raise ObjectLostError(
+                            f"{ref} was lost in a storage-node failure"
+                        ) from exc
+                    if self.kernel.now >= deadline:
+                        raise
+                    current_thread().sleep(self._retry_backoff)
 
     def _retry_deadline_pad(self) -> float:
         """How long transient failures are retried before surfacing:
@@ -253,16 +265,19 @@ class DsoLayer:
         node capacity — the quantity the experiment stresses — is
         modelled faithfully.  No cross-object atomicity is implied.
         """
-        deadline = self.kernel.now + self._retry_deadline_pad()
-        while True:
-            try:
-                return self._read_bulk_once(client, refs, method,
-                                            per_read_cost)
-            except (_StaleContainer, NetworkError, NodeCrashedError):
-                self.stats.retries += 1
-                if self.kernel.now >= deadline:
-                    raise
-                current_thread().sleep(self._retry_backoff)
+        with self.kernel.tracer.span(
+                "dso.read_bulk", kind="client", endpoint=client,
+                attributes={"objects": len(refs)}):
+            deadline = self.kernel.now + self._retry_deadline_pad()
+            while True:
+                try:
+                    return self._read_bulk_once(client, refs, method,
+                                                per_read_cost)
+                except (_StaleContainer, NetworkError, NodeCrashedError):
+                    self.stats.retries += 1
+                    if self.kernel.now >= deadline:
+                        raise
+                    current_thread().sleep(self._retry_backoff)
 
     def read_any(self, client: str, ref: DsoReference, method: str,
                  args: tuple = (), cost: float = 0.0) -> Any:
@@ -279,24 +294,28 @@ class DsoLayer:
         rng = self.kernel.rng.stream(f"dso.{self.name}.anyread")
         replicas = placement.replicas
         target = replicas[int(rng.integers(0, len(replicas)))]
-        node = self._live_node(target)
-        self._connect(client, target)
-        self.network.transfer(client, target, (method, args))
-        container = node.containers.get(ref.ident)
-        if container is None or container.dead:
-            raise _StaleContainer(f"{ref} not hosted on {target}")
-        node.node.workers.acquire()
-        try:
-            current_thread().sleep((self.config.dso.method_call_overhead
-                                    + cost) * node.slow_factor)
-            if not node.alive or container.dead:
-                raise NodeCrashedError(
-                    f"{target} crashed during {ref}.{method} read")
-            result = self._apply(container, method, args, {}, None)
-        finally:
-            node.node.workers.release()
-        self.stats.invocations += 1
-        return self.network.transfer(target, client, result)
+        with self.kernel.tracer.span(
+                f"dso.read_any:{ref.type_name}.{method}", kind="client",
+                endpoint=client,
+                attributes={"key": ref.key, "replica": target}):
+            node = self._live_node(target)
+            self._connect(client, target)
+            self.network.transfer(client, target, (method, args))
+            container = node.containers.get(ref.ident)
+            if container is None or container.dead:
+                raise _StaleContainer(f"{ref} not hosted on {target}")
+            node.node.workers.acquire()
+            try:
+                current_thread().sleep((self.config.dso.method_call_overhead
+                                        + cost) * node.slow_factor)
+                if not node.alive or container.dead:
+                    raise NodeCrashedError(
+                        f"{target} crashed during {ref}.{method} read")
+                result = self._apply(container, method, args, {}, None)
+            finally:
+                node.node.workers.release()
+            self.stats.invocations += 1
+            return self.network.transfer(target, client, result)
 
     # ------------------------------------------------------------------
     # Passivation (Section 4.1: objects "can be passivated to stable
@@ -385,30 +404,35 @@ class DsoLayer:
         if container is None or container.dead:
             raise _StaleContainer(f"{ref} not hosted on {primary_name}")
         call = DsoCall(container)
-        call.acquire()
         released = False
-        try:
-            if node.containers.get(ref.ident) is not container:
-                raise _StaleContainer(f"{ref} moved off {primary_name}")
-            service = (raw_service if raw_service is not None
-                       else self.config.dso.method_call_overhead)
-            current_thread().sleep((service + cost) * node.slow_factor)
-            if not node.alive or container.dead:
-                raise NodeCrashedError(
-                    f"{primary_name} crashed during {ref}.{method}")
-            self.stats.invocations += 1
-            result = self._apply(container, method, args, kwargs, call)
-            if len(placement.replicas) > 1 and placement.version == version:
-                # Free the primary worker before queueing for backup
-                # workers (keeps saturated replicating nodes
-                # deadlock-free); the object lock still serializes the
-                # op stream, preserving SMR's total order.
-                call.release_worker()
-                self._replicate(placement, ref, method, args, kwargs, cost)
-        finally:
-            if not call.aborted:
-                call.release()
-            released = True
+        with self.kernel.tracer.span(
+                "dso.primary", kind="server", endpoint=primary_name,
+                attributes={"method": method}):
+            call.acquire()
+            try:
+                if node.containers.get(ref.ident) is not container:
+                    raise _StaleContainer(f"{ref} moved off {primary_name}")
+                service = (raw_service if raw_service is not None
+                           else self.config.dso.method_call_overhead)
+                current_thread().sleep((service + cost) * node.slow_factor)
+                if not node.alive or container.dead:
+                    raise NodeCrashedError(
+                        f"{primary_name} crashed during {ref}.{method}")
+                self.stats.invocations += 1
+                result = self._apply(container, method, args, kwargs, call)
+                if len(placement.replicas) > 1 \
+                        and placement.version == version:
+                    # Free the primary worker before queueing for backup
+                    # workers (keeps saturated replicating nodes
+                    # deadlock-free); the object lock still serializes the
+                    # op stream, preserving SMR's total order.
+                    call.release_worker()
+                    self._replicate(placement, ref, method, args, kwargs,
+                                    cost)
+            finally:
+                if not call.aborted:
+                    call.release()
+                released = True
         assert released
         return self.network.transfer(primary_name, client, result)
 
@@ -437,31 +461,37 @@ class DsoLayer:
         hop = self.config.dso.replica_replica
         rng = self.kernel.rng.stream(f"dso.{self.name}.smr")
         primary_name = placement.replicas[0]
-        current_thread().sleep(hop.sample(rng))  # ordering round out
-        for backup_name in placement.replicas[1:]:
-            backup = self.nodes.get(backup_name)
-            if backup is None or not backup.alive:
-                continue  # repaired at the next view
-            if not self.network.reachable(primary_name, backup_name):
-                # Partitioned replica: SMR cannot acknowledge without
-                # it (fail-stop durability contract).  Surface as a
-                # suspected failure; the client retries until the
-                # partition heals or a view change expels the replica.
-                raise NodeCrashedError(
-                    f"{backup_name} unreachable from {primary_name} "
-                    "during replication")
-            bcontainer = backup.containers.get(ref.ident)
-            if bcontainer is None or bcontainer.dead:
-                continue
-            backup.node.workers.acquire()
-            try:
-                current_thread().sleep(
-                    (self.config.dso.smr_replica_overhead + cost)
-                    * backup.slow_factor)
-                self._apply(bcontainer, method, args, kwargs, None)
-            finally:
-                backup.node.workers.release()
-        current_thread().sleep(hop.sample(rng))  # commit round back
+        with self.kernel.tracer.span(
+                "dso.replicate", kind="server", endpoint=primary_name,
+                attributes={"backups": len(placement.replicas) - 1}):
+            current_thread().sleep(hop.sample(rng))  # ordering round out
+            for backup_name in placement.replicas[1:]:
+                backup = self.nodes.get(backup_name)
+                if backup is None or not backup.alive:
+                    continue  # repaired at the next view
+                if not self.network.reachable(primary_name, backup_name):
+                    # Partitioned replica: SMR cannot acknowledge without
+                    # it (fail-stop durability contract).  Surface as a
+                    # suspected failure; the client retries until the
+                    # partition heals or a view change expels the replica.
+                    raise NodeCrashedError(
+                        f"{backup_name} unreachable from {primary_name} "
+                        "during replication")
+                bcontainer = backup.containers.get(ref.ident)
+                if bcontainer is None or bcontainer.dead:
+                    continue
+                with self.kernel.tracer.span(
+                        "dso.smr_apply", kind="server",
+                        endpoint=backup_name):
+                    backup.node.workers.acquire()
+                    try:
+                        current_thread().sleep(
+                            (self.config.dso.smr_replica_overhead + cost)
+                            * backup.slow_factor)
+                        self._apply(bcontainer, method, args, kwargs, None)
+                    finally:
+                        backup.node.workers.release()
+            current_thread().sleep(hop.sample(rng))  # commit round back
 
     def _read_bulk_once(self, client: str, refs: Sequence[DsoReference],
                         method: str, per_read_cost: float) -> list[Any]:

@@ -81,13 +81,17 @@ class ServerCondition:
         the waiter aborts with :class:`NodeCrashedError`.
         """
         call.release()
-        with self._condition:
-            self._condition.wait()
-        if self.container.dead:
-            call.aborted = True
-            raise NodeCrashedError(
-                f"{self.container.node.name} crashed while a caller "
-                f"waited on {self.container.key}")
+        container = self.container
+        with container.node.kernel.tracer.span(
+                "dso.wait", kind="server", endpoint=container.node.name,
+                attributes={"object": "/".join(container.key)}):
+            with self._condition:
+                self._condition.wait()
+            if container.dead:
+                call.aborted = True
+                raise NodeCrashedError(
+                    f"{container.node.name} crashed while a caller "
+                    f"waited on {container.key}")
         call.acquire()
 
     def notify_all(self) -> None:

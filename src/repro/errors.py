@@ -47,8 +47,11 @@ class NotInSimThread(SimulationError):
     """A blocking simulation primitive was used outside a SimThread."""
 
 
-class SimTimeoutError(SimulationError):
-    """A wait with a timeout elapsed before the condition was met."""
+class SimTimeoutError(SimulationError, TimeoutError):
+    """A wait with a timeout elapsed before the condition was met.
+
+    Also a :class:`TimeoutError`, so callers can catch the built-in.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -199,76 +199,102 @@ class FaasPlatform:
         function = self._function(function_name)
         limits = self.config.faas_limits
         timings = self.config.faas_timings
-        if self._active >= limits.max_concurrency:
-            raise ThrottlingError(
-                f"concurrency limit {limits.max_concurrency} reached")
-        self._active += 1
-        try:
-            payload = ship(payload)
-            container, cold = self._acquire_container(function)
-            start = self.kernel.now
-            error: BaseException | None = None
-            result: Any = None
-            completed = False
+        tracer = self.kernel.tracer
+        with tracer.span(f"faas.invoke:{function_name}", kind="client",
+                         endpoint=invoker,
+                         attributes={"memory_mb": function.memory_mb}
+                         ) as ispan:
+            if self._active >= limits.max_concurrency:
+                raise ThrottlingError(
+                    f"concurrency limit {limits.max_concurrency} reached")
+            self._active += 1
             try:
-                startup = (timings.cold_start if cold
-                           else timings.warm_start).sample(self._rng)
-                current_thread().sleep(startup)
+                payload = ship(payload)
+                container, cold = self._acquire_container(function)
+                ispan.set("container", container.name)
+                ispan.set("cold_start", cold)
                 start = self.kernel.now
-                deadline = start + function.timeout
-                ctx = FunctionContext(self, function, container, deadline)
-                fail_roll = (self._rng.random() < function.failure_rate
-                             if function.failure_rate > 0 else False)
-                if fail_roll and function.failure_kind == "before":
-                    error = InvocationError(
-                        f"{function_name}: container {container.name} "
-                        "failed before execution")
-                else:
-                    try:
-                        result = function.handler(ctx, payload)
-                    except ContainerKilledError as exc:
-                        error = exc
-                    except Exception as exc:  # noqa: BLE001 - reported to invoker
-                        error = InvocationError(
-                            f"{function_name}: handler raised {exc!r}",
-                            cause=exc)
-                    if error is None and fail_roll \
-                            and function.failure_kind == "after":
+                error: BaseException | None = None
+                result: Any = None
+                completed = False
+                hspan = None
+                try:
+                    with tracer.span("faas.startup", kind="server",
+                                     endpoint=container.name,
+                                     attributes={"cold_start": cold}):
+                        startup = (timings.cold_start if cold
+                                   else timings.warm_start).sample(self._rng)
+                        current_thread().sleep(startup)
+                    start = self.kernel.now
+                    deadline = start + function.timeout
+                    ctx = FunctionContext(self, function, container, deadline)
+                    fail_roll = (self._rng.random() < function.failure_rate
+                                 if function.failure_rate > 0 else False)
+                    hspan = tracer.start_span(
+                        "faas.handler", kind="server",
+                        endpoint=container.name,
+                        attributes={"function": function_name})
+                    if fail_roll and function.failure_kind == "before":
                         error = InvocationError(
                             f"{function_name}: container {container.name} "
-                            "failed after execution")
-                if error is None and container.dead:
-                    error = ContainerKilledError(
-                        f"{function_name}: container {container.name} "
-                        "was killed mid-invocation")
-                if error is None and self.kernel.now - start > function.timeout:
-                    error = FunctionTimeoutError(
-                        f"{function_name}: exceeded {function.timeout}s limit")
-                completed = True
+                            "failed before execution")
+                    else:
+                        try:
+                            result = function.handler(ctx, payload)
+                        except ContainerKilledError as exc:
+                            error = exc
+                        except Exception as exc:  # noqa: BLE001 - reported to invoker
+                            error = InvocationError(
+                                f"{function_name}: handler raised {exc!r}",
+                                cause=exc)
+                        if error is None and fail_roll \
+                                and function.failure_kind == "after":
+                            error = InvocationError(
+                                f"{function_name}: container {container.name} "
+                                "failed after execution")
+                    if error is None and container.dead:
+                        error = ContainerKilledError(
+                            f"{function_name}: container {container.name} "
+                            "was killed mid-invocation")
+                    if error is None and self.kernel.now - start > function.timeout:
+                        error = FunctionTimeoutError(
+                            f"{function_name}: exceeded {function.timeout}s limit")
+                    tracer.end_span(
+                        hspan, error=type(error).__name__ if error else None)
+                    completed = True
+                finally:
+                    # The container is released and the invocation recorded
+                    # even when a BaseException (kernel shutdown, a
+                    # simulated crash unwinding through a DSO call)
+                    # escapes; otherwise the container would be stranded
+                    # ``in_use`` forever and billing would silently drop
+                    # the aborted run.
+                    if hspan is not None and hspan.open:
+                        exc_type = sys.exc_info()[0]
+                        tracer.end_span(
+                            hspan, error=(exc_type.__name__ if exc_type
+                                          else "Aborted"))
+                    self._release_container(container)
+                    if completed:
+                        error_name = type(error).__name__ if error else None
+                    else:
+                        exc_type = sys.exc_info()[0]
+                        error_name = exc_type.__name__ if exc_type else "Aborted"
+                    record = InvocationRecord(
+                        function=function_name, container=container.name,
+                        start=start, end=self.kernel.now,
+                        memory_mb=function.memory_mb, cold_start=cold,
+                        error=error_name)
+                    self.records.append(record)
+                    ispan.set("billed_duration", record.billed_duration)
+                with tracer.span("faas.response", kind="client",
+                                 endpoint=invoker):
+                    current_thread().sleep(timings.response.sample(self._rng))
+                if error is not None:
+                    raise error
+                return ship(result)
             finally:
-                # The container is released and the invocation recorded
-                # even when a BaseException (kernel shutdown, a
-                # simulated crash unwinding through a DSO call)
-                # escapes; otherwise the container would be stranded
-                # ``in_use`` forever and billing would silently drop
-                # the aborted run.
-                self._release_container(container)
-                if completed:
-                    error_name = type(error).__name__ if error else None
-                else:
-                    exc_type = sys.exc_info()[0]
-                    error_name = exc_type.__name__ if exc_type else "Aborted"
-                self.records.append(InvocationRecord(
-                    function=function_name, container=container.name,
-                    start=start, end=self.kernel.now,
-                    memory_mb=function.memory_mb, cold_start=cold,
-                    error=error_name))
-            current_thread().sleep(timings.response.sample(self._rng))
-            if error is not None:
-                raise error
-            return ship(result)
-        finally:
-            self._active -= 1
+                self._active -= 1
 
     def invoke_async(self, invoker: str, function_name: str,
                      payload: Any = None, max_retries: int = 2,

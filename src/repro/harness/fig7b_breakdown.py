@@ -6,15 +6,30 @@ single stage runs all iterations, synchronized with Crucial's barrier,
 so the input is fetched once.  The paper reports (b) is faster and
 that barrier synchronization time is small because invocations and S3
 reads leave the critical path.
+
+The breakdown is **derived from the distributed trace**, not from
+stopwatches inside the workload: the harness runs with tracing
+enabled and decomposes each ``cloudthread:*`` root span into
+
+* ``invocation`` — root duration minus the container-side
+  ``runnable:*`` span (dispatch, startup, queueing, response);
+* ``s3_read`` — the ``s3.get`` spans in the subtree;
+* ``sync`` — the ``dso.invoke:_CyclicBarrier.*`` spans (barrier RPCs,
+  including the server-side park);
+* ``compute`` — the runnable span's *self* time (duration not covered
+  by its direct children).
+
+The four phases therefore sum to each thread's end-to-end span by
+construction — the consistency the paper's stacked bars imply.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import CloudThread, CrucialEnvironment, CyclicBarrier
-from repro.core.runtime import compute, current_environment
+from repro import CloudThread, CrucialEnvironment, CyclicBarrier, compute
 from repro.metrics.report import render_table
+from repro.trace.tracer import Span, Tracer
 
 PHASES = ("invocation", "s3_read", "compute", "sync")
 INPUT_BYTES = 200 * 10 ** 6  # per-thread input fragment
@@ -27,13 +42,11 @@ class _SingleIteration:
     def __init__(self, key: str):
         self.key = key
 
-    def run(self) -> dict:
-        env = current_environment()
-        t0 = env.now
-        env.object_store.get(self.key)
-        t1 = env.now
+    def run(self) -> None:
+        from repro import current_environment
+
+        current_environment().object_store.get(self.key)
         compute(COMPUTE_SECONDS, jitter_sigma=0.01)
-        return {"s3_read": t1 - t0, "compute": env.now - t1}
 
 
 class _AllIterations:
@@ -46,22 +59,13 @@ class _AllIterations:
         self.iterations = iterations
         self.barrier = CyclicBarrier(f"{run_id}/barrier", parties)
 
-    def run(self) -> dict:
-        env = current_environment()
-        t0 = env.now
-        env.object_store.get(self.key)
-        s3_time = env.now - t0
-        compute_time = 0.0
-        sync_time = 0.0
+    def run(self) -> None:
+        from repro import current_environment
+
+        current_environment().object_store.get(self.key)
         for _iteration in range(self.iterations):
-            t1 = env.now
             compute(COMPUTE_SECONDS, jitter_sigma=0.01)
-            t2 = env.now
             self.barrier.wait()
-            compute_time += t2 - t1
-            sync_time += env.now - t2
-        return {"s3_read": s3_time, "compute": compute_time,
-                "sync": sync_time}
 
 
 @dataclass
@@ -74,14 +78,34 @@ class BreakdownResult:
     iterations: int = 0
 
 
+def _phases_of_root(root: Span, tracer: Tracer) -> dict[str, float]:
+    """Decompose one cloud thread's root span into the four phases."""
+    subtree = tracer.subtree(root)
+    runnable = next((s for s in subtree
+                     if s.name.startswith("runnable:")), None)
+    s3_read = sum(s.duration for s in subtree if s.name == "s3.get")
+    sync = sum(s.duration for s in subtree
+               if s.name.startswith("dso.invoke:_CyclicBarrier"))
+    if runnable is None:
+        return {"invocation": root.duration, "s3_read": s3_read,
+                "compute": 0.0, "sync": sync}
+    child_time = sum(s.duration for s in tracer.children_of(runnable))
+    return {
+        "invocation": root.duration - runnable.duration,
+        "s3_read": s3_read,
+        "compute": runnable.duration - child_time,
+        "sync": sync,
+    }
+
+
 def run(threads: int = 10, iterations: int = 5,
         seed: int = 10) -> BreakdownResult:
-    phases: dict[str, dict[str, float]] = {}
-    details: dict[str, list[dict]] = {}
-    with CrucialEnvironment(seed=seed, dso_nodes=1) as env:
+    marker = {"a_end": 0}
+    with CrucialEnvironment(seed=seed, dso_nodes=1,
+                            trace_enabled=True) as env:
+        tracer = env.kernel.tracer
+
         def main():
-            for i in range(threads):
-                env.object_store._objects.pop(f"input-{i}", None)
             from repro.storage.object_store import _StoredObject
 
             for i in range(threads):
@@ -91,31 +115,16 @@ def run(threads: int = 10, iterations: int = 5,
             env.pre_warm(threads)
 
             # Approach (a): one stage per iteration.
-            totals_a = {phase: 0.0 for phase in PHASES}
-            details_a: list[dict] = [
-                {phase: 0.0 for phase in PHASES} for _ in range(threads)]
             for _iteration in range(iterations):
                 stage = [CloudThread(_SingleIteration(f"input-{i}"))
                          for i in range(threads)]
-                dispatch_start = env.now
                 for thread in stage:
                     thread.start()
                 for thread in stage:
                     thread.join()
-                for i, thread in enumerate(stage):
-                    measured = thread.result()
-                    wall = env.now - dispatch_start
-                    invocation = wall - measured["s3_read"] \
-                        - measured["compute"]
-                    for phase, value in (("invocation", invocation),
-                                         ("s3_read", measured["s3_read"]),
-                                         ("compute", measured["compute"]),
-                                         ("sync", 0.0)):
-                        totals_a[phase] += value / threads
-                        details_a[i][phase] += value
+            marker["a_end"] = tracer.spans[-1].span_id
 
             # Approach (b): one stage, barrier-synchronized.
-            stage_start = env.now
             stage = [
                 CloudThread(_AllIterations(f"input-{i}", "fig7b", i,
                                            threads, iterations))
@@ -125,24 +134,39 @@ def run(threads: int = 10, iterations: int = 5,
                 thread.start()
             for thread in stage:
                 thread.join()
-            totals_b = {phase: 0.0 for phase in PHASES}
-            details_b: list[dict] = []
-            for thread in stage:
-                measured = thread.result()
-                wall = env.now - stage_start
-                invocation = wall - sum(measured.values())
-                detail = {"invocation": invocation, **measured}
-                details_b.append(detail)
-                for phase in PHASES:
-                    totals_b[phase] += detail[phase] / threads
-            phases["per-iteration stages"] = totals_a
-            phases["single stage + barrier"] = totals_b
-            details["per-iteration stages"] = details_a[:2]
-            details["single stage + barrier"] = details_b[:2]
 
         env.run(main)
-    return BreakdownResult(phases=phases, details=details,
-                           threads=threads, iterations=iterations)
+
+        roots = [s for s in tracer.roots()
+                 if s.name.startswith("cloudthread:")]
+        roots_a = [r for r in roots if r.span_id <= marker["a_end"]]
+        roots_b = [r for r in roots if r.span_id > marker["a_end"]]
+
+        # Approach (a): accumulate each thread's iterations (stages
+        # launch threads in index order, so position within the stage
+        # identifies the thread).
+        totals_a = {phase: 0.0 for phase in PHASES}
+        details_a = [{phase: 0.0 for phase in PHASES}
+                     for _ in range(threads)]
+        for index, root in enumerate(roots_a):
+            for phase, value in _phases_of_root(root, tracer).items():
+                totals_a[phase] += value / threads
+                details_a[index % threads][phase] += value
+
+        totals_b = {phase: 0.0 for phase in PHASES}
+        details_b = []
+        for root in roots_b:
+            decomposed = _phases_of_root(root, tracer)
+            details_b.append(decomposed)
+            for phase in PHASES:
+                totals_b[phase] += decomposed[phase] / threads
+
+    return BreakdownResult(
+        phases={"per-iteration stages": totals_a,
+                "single stage + barrier": totals_b},
+        details={"per-iteration stages": details_a[:2],
+                 "single stage + barrier": details_b[:2]},
+        threads=threads, iterations=iterations)
 
 
 def report(result: BreakdownResult) -> str:
@@ -155,7 +179,7 @@ def report(result: BreakdownResult) -> str:
         ["approach"] + list(PHASES) + ["total"], rows,
         title=(f"Fig. 7b - iterative task breakdown, "
                f"{result.threads} threads x {result.iterations} "
-               "iterations"))
+               "iterations (derived from trace spans)"))
     stages = result.phases["per-iteration stages"]
     barrier = result.phases["single stage + barrier"]
     table += (

@@ -91,12 +91,21 @@ class SkeenMulticast:
         """
         seq = next(self._seq)
         msg_id = (sender, seq)
+        # One span covers the whole protocol round: request fan-out
+        # through the last expected member's delivery.  It is not
+        # activated (the protocol advances via kernel timers, not the
+        # calling thread) and is closed by ``_try_deliver``.
+        span = self.kernel.tracer.start_span(
+            "multicast.total_order", kind="producer", endpoint=sender,
+            attributes={"members": len(self.members)}, activate=False)
         self._in_flight[msg_id] = {
             "proposals": {},
             "payload": payload,
             "sender": sender,
             "seq": seq,
             "on_delivered": on_delivered,
+            "span": span,
+            "deliveries": 0,
         }
         for member in self.members:
             self._send(sender, member,
@@ -190,8 +199,13 @@ class SkeenMulticast:
             state.delivered_ids.add(msg_id)
             self.deliver(member, head.payload)
             flight = self._in_flight.get(msg_id)
-            if flight and flight["on_delivered"] is not None:
+            if flight is None:
+                continue
+            if flight["on_delivered"] is not None:
                 flight["on_delivered"](member)
+            flight["deliveries"] += 1
+            if flight["deliveries"] >= len(self.expected):
+                self.kernel.tracer.end_span(flight["span"])
 
     # -- inspection ---------------------------------------------------------------
 

@@ -174,24 +174,30 @@ class Network:
         :class:`NetworkError` if the destination is unreachable at send
         time *or* crashes mid-flight.
         """
-        if not self.reachable(src, dst):
-            raise NetworkError(f"{dst!r} unreachable from {src!r}")
-        if nbytes is None:
-            nbytes = payload_size(value) if self.copy_messages else 0
-        shipped = ship(value) if self.copy_messages else value
-        delay = self.link(src, dst).sample(self._rng, nbytes)
-        rate = self._drop_rates.get((src, dst), 0.0)
-        dropped = rate > 0.0 and float(self._rng.random()) < rate
-        dst_epoch = self.endpoint(dst).epoch
-        current_thread().sleep(delay)
-        self.messages_sent += 1
-        self.bytes_sent += nbytes
-        if dropped:
-            self.messages_dropped += 1
-            raise NetworkError(f"message {src!r} -> {dst!r} dropped")
-        if not self.reachable(src, dst) or self.endpoint(dst).epoch != dst_epoch:
-            raise NetworkError(f"{dst!r} failed during transfer from {src!r}")
-        return shipped
+        with self.kernel.tracer.span(
+                "net.transfer", kind="internal", endpoint=src,
+                attributes={"src": src, "dst": dst}) as span:
+            if not self.reachable(src, dst):
+                raise NetworkError(f"{dst!r} unreachable from {src!r}")
+            if nbytes is None:
+                nbytes = payload_size(value) if self.copy_messages else 0
+            shipped = ship(value) if self.copy_messages else value
+            span.set("bytes", nbytes)
+            delay = self.link(src, dst).sample(self._rng, nbytes)
+            rate = self._drop_rates.get((src, dst), 0.0)
+            dropped = rate > 0.0 and float(self._rng.random()) < rate
+            dst_epoch = self.endpoint(dst).epoch
+            current_thread().sleep(delay)
+            self.messages_sent += 1
+            self.bytes_sent += nbytes
+            if dropped:
+                self.messages_dropped += 1
+                raise NetworkError(f"message {src!r} -> {dst!r} dropped")
+            if not self.reachable(src, dst) \
+                    or self.endpoint(dst).epoch != dst_epoch:
+                raise NetworkError(
+                    f"{dst!r} failed during transfer from {src!r}")
+            return shipped
 
     def delay(self, src: str, dst: str, nbytes: int = 0) -> float:
         """Sample a link delay without blocking (for timers)."""

@@ -80,6 +80,13 @@ class Kernel:
     def __init__(self, seed: int = 0, name: str = "sim"):
         self.name = name
         self.rng = RngRegistry(seed)
+        # Deferred import: repro.trace imports this module at its top.
+        from repro.trace.tracer import NULL_TRACER
+
+        #: The active tracer; a shared no-op :class:`NullTracer` until
+        #: :meth:`enable_tracing` installs a real one.  Tracing only
+        #: *observes* the clock — enabling it never changes timestamps.
+        self.tracer = NULL_TRACER
         self._now = 0.0
         self._seq = itertools.count()
         self._heap: list[tuple[float, int, object]] = []
@@ -95,6 +102,19 @@ class Kernel:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    # -- tracing ----------------------------------------------------------
+
+    def enable_tracing(self, service: str = "repro"):
+        """Attach a :class:`repro.trace.Tracer` and return it.
+
+        Idempotent: a second call returns the already-installed tracer.
+        """
+        from repro.trace.tracer import Tracer
+
+        if not self.tracer.enabled:
+            self.tracer = Tracer(self, service=service)
+        return self.tracer
 
     # -- scheduling -------------------------------------------------------
 
@@ -129,6 +149,10 @@ class Kernel:
 
         thread = SimThread(self, target, args=args, kwargs=kwargs,
                            name=name, daemon=daemon)
+        if self.tracer.enabled:
+            # Trace-context propagation: the child inherits the
+            # spawner's active span as its initial parent.
+            self.tracer.on_spawn(thread)
         thread.start()
         return thread
 

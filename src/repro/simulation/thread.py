@@ -85,6 +85,8 @@ class SimThread:
                     self.kernel.schedule_wakeup(joiner, 0.0, self)
                 self._joiners.clear()
             self.kernel._unregister(self)
+            if self.kernel.tracer.enabled:
+                self.kernel.tracer.on_thread_exit(self)
             # Hand control back to the kernel for the last time.
             self.kernel._control.set()
 

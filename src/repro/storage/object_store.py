@@ -53,32 +53,41 @@ class ObjectStore:
         """Store ``value`` under ``key`` (charges PUT latency)."""
         if nbytes is None:
             nbytes = payload_size(value)
-        delay = self.config.storage.s3_put.sample(self._rng, nbytes)
-        current_thread().sleep(delay)
-        lag = self.config.storage.s3_visibility_lag
-        self._objects[key] = _StoredObject(
-            value=ship(value), nbytes=nbytes,
-            put_time=self.kernel.now,
-            visible_at=self.kernel.now + lag)
-        self.put_count += 1
+        with self.kernel.tracer.span(
+                f"{self.name}.put", kind="client", endpoint=self.name,
+                attributes={"key": key, "bytes": nbytes}):
+            delay = self.config.storage.s3_put.sample(self._rng, nbytes)
+            current_thread().sleep(delay)
+            lag = self.config.storage.s3_visibility_lag
+            self._objects[key] = _StoredObject(
+                value=ship(value), nbytes=nbytes,
+                put_time=self.kernel.now,
+                visible_at=self.kernel.now + lag)
+            self.put_count += 1
 
     def get(self, key: str) -> Any:
         """Fetch ``key`` (charges GET latency, size-dependent)."""
         stored = self._objects.get(key)
         nbytes = stored.nbytes if stored is not None else 0
-        delay = self.config.storage.s3_get.sample(self._rng, nbytes)
-        current_thread().sleep(delay)
-        stored = self._objects.get(key)  # re-check after the delay
-        if stored is None:
+        with self.kernel.tracer.span(
+                f"{self.name}.get", kind="client", endpoint=self.name,
+                attributes={"key": key, "bytes": nbytes}):
+            delay = self.config.storage.s3_get.sample(self._rng, nbytes)
+            current_thread().sleep(delay)
+            stored = self._objects.get(key)  # re-check after the delay
+            if stored is None:
+                self.get_count += 1
+                raise NoSuchKeyError(f"{self.name}: no such key {key!r}")
             self.get_count += 1
-            raise NoSuchKeyError(f"{self.name}: no such key {key!r}")
-        self.get_count += 1
-        return ship(stored.value)
+            return ship(stored.value)
 
     def delete(self, key: str) -> None:
-        delay = self.config.storage.s3_put.sample(self._rng, 0)
-        current_thread().sleep(delay)
-        self._objects.pop(key, None)
+        with self.kernel.tracer.span(
+                f"{self.name}.delete", kind="client", endpoint=self.name,
+                attributes={"key": key}):
+            delay = self.config.storage.s3_put.sample(self._rng, 0)
+            current_thread().sleep(delay)
+            self._objects.pop(key, None)
 
     # -- polling path (eventually consistent) -------------------------------------
 
@@ -89,21 +98,27 @@ class ObjectStore:
         returned: this is the eventual consistency that foils naive
         S3-based synchronization.
         """
-        delay = self.config.storage.s3_get.sample(self._rng, 0)
-        current_thread().sleep(delay)
-        self.list_count += 1
-        now = self.kernel.now
-        return sorted(
-            key for key, stored in self._objects.items()
-            if key.startswith(prefix) and stored.visible_at <= now)
+        with self.kernel.tracer.span(
+                f"{self.name}.list", kind="client", endpoint=self.name,
+                attributes={"prefix": prefix}):
+            delay = self.config.storage.s3_get.sample(self._rng, 0)
+            current_thread().sleep(delay)
+            self.list_count += 1
+            now = self.kernel.now
+            return sorted(
+                key for key, stored in self._objects.items()
+                if key.startswith(prefix) and stored.visible_at <= now)
 
     def exists(self, key: str) -> bool:
         """HEAD request with listing (eventual) visibility."""
-        delay = self.config.storage.s3_get.sample(self._rng, 0)
-        current_thread().sleep(delay)
-        self.list_count += 1
-        stored = self._objects.get(key)
-        return stored is not None and stored.visible_at <= self.kernel.now
+        with self.kernel.tracer.span(
+                f"{self.name}.head", kind="client", endpoint=self.name,
+                attributes={"key": key}):
+            delay = self.config.storage.s3_get.sample(self._rng, 0)
+            current_thread().sleep(delay)
+            self.list_count += 1
+            stored = self._objects.get(key)
+            return stored is not None and stored.visible_at <= self.kernel.now
 
     # -- introspection (no latency; for tests and harnesses) ------------------------
 

@@ -69,9 +69,12 @@ class QueueService:
 
     def send(self, queue_name: str, body: Any) -> None:
         """Send a message (charges SQS send latency)."""
-        delay = self.config.storage.sqs_send.sample(self._rng)
-        current_thread().sleep(delay)
-        self.deliver(queue_name, body)
+        with self.kernel.tracer.span(
+                f"{self.name}.send", kind="producer", endpoint=self.name,
+                attributes={"queue": queue_name}):
+            delay = self.config.storage.sqs_send.sample(self._rng)
+            current_thread().sleep(delay)
+            self.deliver(queue_name, body)
 
     def deliver(self, queue_name: str, body: Any) -> None:
         """Enqueue without caller-side latency (service-side fan-in).
@@ -111,19 +114,23 @@ class QueueService:
         visibility timeout; call :meth:`delete` to acknowledge.
         """
         queue = self._queue(queue_name)
-        delay = self.config.storage.sqs_receive.sample(self._rng)
-        current_thread().sleep(delay)
-        self.receive_count += 1
-        deadline = self.kernel.now + wait
-        while True:
-            batch = self._take_visible(queue, max_messages)
-            if batch or self.kernel.now >= deadline:
-                return batch
-            waiter = Event(self.kernel)
-            queue.waiters.append(waiter)
-            waiter.wait(timeout=deadline - self.kernel.now)
-            if waiter in queue.waiters:
-                queue.waiters.remove(waiter)
+        with self.kernel.tracer.span(
+                f"{self.name}.receive", kind="consumer", endpoint=self.name,
+                attributes={"queue": queue_name}) as span:
+            delay = self.config.storage.sqs_receive.sample(self._rng)
+            current_thread().sleep(delay)
+            self.receive_count += 1
+            deadline = self.kernel.now + wait
+            while True:
+                batch = self._take_visible(queue, max_messages)
+                if batch or self.kernel.now >= deadline:
+                    span.set("messages", len(batch))
+                    return batch
+                waiter = Event(self.kernel)
+                queue.waiters.append(waiter)
+                waiter.wait(timeout=deadline - self.kernel.now)
+                if waiter in queue.waiters:
+                    queue.waiters.remove(waiter)
 
     def _take_visible(self, queue: _Queue, limit: int) -> list[Message]:
         now = self.kernel.now
@@ -139,10 +146,14 @@ class QueueService:
 
     def delete(self, queue_name: str, receipt: str) -> None:
         """Acknowledge (remove) a received message."""
-        delay = self.config.storage.sqs_send.sample(self._rng)
-        current_thread().sleep(delay)
-        queue = self._queue(queue_name)
-        queue.messages = [m for m in queue.messages if m.receipt != receipt]
+        with self.kernel.tracer.span(
+                f"{self.name}.delete", kind="client", endpoint=self.name,
+                attributes={"queue": queue_name}):
+            delay = self.config.storage.sqs_send.sample(self._rng)
+            current_thread().sleep(delay)
+            queue = self._queue(queue_name)
+            queue.messages = [m for m in queue.messages
+                              if m.receipt != receipt]
 
     def delete_batch(self, queue_name: str, receipts: list[str]) -> None:
         """DeleteMessageBatch: up to 10 acknowledgements per request."""

@@ -3,13 +3,14 @@
 import pytest
 
 from repro import (
+    RUNNER_FUNCTION,
     AtomicLong,
     CloudThread,
     CrucialEnvironment,
     RetryPolicy,
+    current_location,
     run_all,
 )
-from repro.core.runtime import RUNNER_FUNCTION, current_location
 from repro.errors import RetriesExhaustedError, SimulationError
 
 
@@ -161,7 +162,7 @@ def test_thread_dispatch_serializes_at_client(env):
 
 
 def test_no_active_environment_rejected():
-    from repro.core.runtime import current_environment
+    from repro import current_environment
 
     with pytest.raises(SimulationError):
         current_environment()
@@ -179,3 +180,74 @@ def test_callable_payload_supported(env):
 
 def _module_level_callable():
     return "called"
+
+
+def test_join_timeout_returns_false_while_running(env):
+    """join(timeout) distinguishes 'still running' from 'done'."""
+    def main():
+        t = CloudThread(Incrementer(key="jt")).start()
+        # Cold start alone exceeds 1 ms of virtual time.
+        early = t.join(timeout=0.001)
+        late = t.join()  # no timeout: blocks until completion
+        return early, late, t.done
+
+    early, late, done = env.run(main)
+    assert early is False
+    assert late is True
+    assert done is True
+
+
+def test_join_timeout_true_when_already_done(env):
+    def main():
+        t = CloudThread(Incrementer(key="jd")).start()
+        t.join()
+        return t.join(timeout=0.0)
+
+    assert env.run(main) is True
+
+
+def test_result_joins_implicitly(env):
+    """result() on a running thread blocks instead of raising."""
+    def main():
+        t = CloudThread(Incrementer(key="ri")).start()
+        return t.result()  # no explicit join
+
+    assert env.run(main) == 1
+
+
+def test_is_alive_tracks_lifecycle(env):
+    def main():
+        t = CloudThread(Incrementer(key="ia"))
+        before = t.is_alive()
+        t.start()
+        running = t.is_alive()
+        t.join()
+        after = t.is_alive()
+        return before, running, after
+
+    assert env.run(main) == (False, True, False)
+
+
+def test_thread_attribute_deprecated(env):
+    def main():
+        t = CloudThread(Incrementer(key="dep")).start()
+        with pytest.warns(DeprecationWarning):
+            backing = t._thread
+        t.join()
+        return backing is not None
+
+    assert env.run(main) is True
+
+
+def test_run_all_returns_results_without_explicit_join(env):
+    def main():
+        return sorted(run_all([Incrementer(key="ra") for _ in range(3)],
+                              retry_policy=RetryPolicy(max_retries=1)))
+
+    assert env.run(main) == [1, 2, 3]
+
+
+def test_sim_timeout_is_builtin_timeout_error():
+    from repro.errors import SimTimeoutError
+
+    assert issubclass(SimTimeoutError, TimeoutError)

@@ -1,0 +1,219 @@
+"""End-to-end tracing across client, FaaS, and DSO layers.
+
+The acceptance properties of the tracing subsystem:
+
+* a traced run nests client dispatch -> FaaS invocation (cold/warm
+  annotated) -> container runnable -> DSO RPC -> SMR replication;
+* the Chrome export is byte-identical for a fixed seed;
+* disabling tracing changes no simulated timestamp;
+* trace context survives CloudThread retries and chaos faults —
+  a killed container's span carries an error status, and the retry
+  attempt appears as a sibling span under the same root.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    RUNNER_FUNCTION,
+    AtomicLong,
+    CloudThread,
+    CrucialEnvironment,
+    RetryPolicy,
+    chrome_trace_json,
+    compute,
+    trace_enabled,
+)
+from repro.chaos import ChaosInjector, FaultPlan
+
+
+class Adder:
+    """Module-level (picklable) runnable touching S3 and the DSO."""
+
+    def __init__(self, key="sum", persistent=True):
+        self.counter = AtomicLong(key, persistent=persistent)
+
+    def run(self):
+        from repro import current_environment
+
+        current_environment().object_store.put("blob", b"x" * 64)
+        return self.counter.add_and_get(1)
+
+
+class SlowWork:
+    def run(self):
+        compute(2.0)
+        return "done"
+
+
+def _children(tracer, span):
+    return tracer.children_of(span)
+
+
+def _one_child(tracer, span, name_prefix):
+    kids = [s for s in _children(tracer, span)
+            if s.name.startswith(name_prefix)]
+    assert len(kids) == 1, (name_prefix, [s.name for s in kids])
+    return kids[0]
+
+
+def test_trace_nests_client_faas_dso_layers():
+    with CrucialEnvironment(seed=3, dso_nodes=2, trace_enabled=True) as env:
+        def main():
+            assert trace_enabled()
+            thread = CloudThread(Adder(), name="t0").start()
+            return thread.result()
+
+        assert env.run(main) == 1
+        tracer = env.kernel.tracer
+
+        (root,) = [s for s in tracer.roots()
+                   if s.name == "cloudthread:t0"]
+        assert root.kind == "client"
+        assert root.status == "ok"
+        attempt = _one_child(tracer, root, "cloudthread.attempt")
+        invoke = _one_child(tracer, attempt, "faas.invoke:")
+        assert invoke.attributes["cold_start"] is True
+        assert invoke.attributes["billed_duration"] > 0
+        startup = _one_child(tracer, invoke, "faas.startup")
+        assert startup.attributes["cold_start"] is True
+        handler = _one_child(tracer, invoke, "faas.handler")
+        runnable = _one_child(tracer, handler, "runnable:Adder")
+        s3_put = _one_child(tracer, runnable, "s3.put")
+        assert s3_put.duration > 0
+        dso = _one_child(tracer, runnable, "dso.invoke:_AtomicLong")
+        primary = _one_child(tracer, dso, "dso.primary")
+        # rf=2 atomics replicate: the SMR round nests under the primary.
+        replicate = _one_child(tracer, primary, "dso.replicate")
+        _one_child(tracer, replicate, "dso.smr_apply")
+        # Durations are consistent: children fit inside their parents.
+        for parent, child in ((root, attempt), (attempt, invoke),
+                              (invoke, handler), (handler, runnable),
+                              (runnable, dso), (dso, primary)):
+            assert child.start >= parent.start - 1e-12
+            assert child.end <= parent.end + 1e-12
+
+
+def _traced_run(seed=11):
+    with CrucialEnvironment(seed=seed, dso_nodes=1,
+                            trace_enabled=True) as env:
+        def main():
+            threads = [CloudThread(Adder(), name=f"w{i}").start()
+                       for i in range(3)]
+            return [t.result() for t in threads]
+
+        env.run(main)
+        return chrome_trace_json(env.kernel.tracer), env.kernel.now
+
+
+def test_same_seed_yields_identical_export():
+    export_a, _ = _traced_run()
+    export_b, _ = _traced_run()
+    assert export_a == export_b
+
+
+def test_disabling_tracing_changes_no_timestamps():
+    _, traced_end = _traced_run(seed=12)
+    with CrucialEnvironment(seed=12, dso_nodes=1) as env:
+        def main():
+            threads = [CloudThread(Adder(), name=f"w{i}").start()
+                       for i in range(3)]
+            return [t.result() for t in threads]
+
+        env.run(main)
+        assert env.kernel.tracer.spans == ()
+        assert env.kernel.now == traced_end
+
+
+def test_export_is_valid_json_with_root_spans():
+    export, _ = _traced_run(seed=13)
+    doc = json.loads(export)
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    roots = [e for e in events if "parent_id" not in e["args"]]
+    assert len(roots) >= 1
+    assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+
+
+def test_retry_attempts_are_sibling_spans_with_error_status():
+    with CrucialEnvironment(seed=21, dso_nodes=1,
+                            trace_enabled=True) as env:
+        env.platform.inject_failures(RUNNER_FUNCTION, rate=1.0,
+                                     kind="before")
+
+        def main():
+            thread = CloudThread(
+                Adder(key="r"), name="retrier",
+                retry_policy=RetryPolicy(max_retries=2, backoff=0.05))
+            thread.start()
+            with pytest.raises(Exception):
+                thread.join()
+
+        env.run(main)
+        tracer = env.kernel.tracer
+        (root,) = [s for s in tracer.roots()
+                   if s.name == "cloudthread:retrier"]
+        attempts = [s for s in tracer.find("cloudthread.attempt")
+                    if s.parent_id == root.span_id]
+        assert [s.attributes["attempt"] for s in attempts] == [1, 2, 3]
+        assert all(s.status == "error" for s in attempts)
+        # Exhausted retries propagate into the root span's status.
+        assert root.status == "error"
+        assert root.error == "RetriesExhaustedError"
+
+
+def test_killed_container_span_errors_and_retry_is_sibling():
+    """Chaos fault: the in-flight attempt's spans end with an error;
+    the (successful) retry shows up as a sibling attempt under the
+    same root, each attempt carrying its own FaaS subtree."""
+    with CrucialEnvironment(seed=31, dso_nodes=1,
+                            trace_enabled=True) as env:
+        env.pre_warm(1)
+        injector = ChaosInjector(env.kernel, network=env.network,
+                                 platform=env.platform)
+        injector.schedule(
+            FaultPlan().add(1.0, "kill_container", RUNNER_FUNCTION))
+
+        def main():
+            thread = CloudThread(
+                SlowWork(), name="victim",
+                retry_policy=RetryPolicy(max_retries=1, backoff=0.1))
+            thread.start()
+            return thread.result()
+
+        assert env.run(main) == "done"
+        tracer = env.kernel.tracer
+        (root,) = [s for s in tracer.roots()
+                   if s.name == "cloudthread:victim"]
+        attempts = [s for s in tracer.find("cloudthread.attempt")
+                    if s.parent_id == root.span_id]
+        assert len(attempts) == 2
+        first, second = attempts
+        assert first.status == "error"
+        assert second.status == "ok"
+        assert root.status == "ok"  # the retry recovered
+
+        # The killed container's handler span records the fault.
+        first_invoke = _one_child(tracer, first, "faas.invoke:")
+        handler = _one_child(tracer, first_invoke, "faas.handler")
+        assert handler.status == "error"
+        assert handler.error == "ContainerKilledError"
+
+        # Trace context propagated across the retry: the second
+        # attempt has its own complete FaaS/runnable subtree.
+        second_invoke = _one_child(tracer, second, "faas.invoke:")
+        second_handler = _one_child(tracer, second_invoke, "faas.handler")
+        _one_child(tracer, second_handler, "runnable:SlowWork")
+
+
+def test_trace_enabled_reflects_environment():
+    with CrucialEnvironment(seed=1) as env:
+        def main():
+            return trace_enabled()
+
+        assert env.run(main) is False
+    with CrucialEnvironment(seed=1, trace_enabled=True) as env:
+        def main():
+            return trace_enabled()
+
+        assert env.run(main) is True

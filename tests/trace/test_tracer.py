@@ -1,0 +1,221 @@
+"""Unit tests for the tracer: span model, propagation, exporters."""
+
+import json
+
+import pytest
+
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep, spawn
+from repro.trace import (
+    NULL_TRACER,
+    TraceContext,
+    TracedRunnable,
+    chrome_trace_json,
+    critical_path,
+    span_tree,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=5) as k:
+        yield k
+
+
+def test_kernel_defaults_to_shared_null_tracer():
+    with Kernel() as a, Kernel() as b:
+        assert a.tracer is NULL_TRACER
+        assert b.tracer is NULL_TRACER
+        assert not a.tracer.enabled
+
+
+def test_enable_tracing_is_idempotent(kernel):
+    tracer = kernel.enable_tracing()
+    assert tracer.enabled
+    assert kernel.enable_tracing() is tracer
+
+
+def test_nested_spans_parent_correctly(kernel):
+    tracer = kernel.enable_tracing()
+
+    def main():
+        with tracer.span("outer") as outer:
+            sleep(1.0)
+            with tracer.span("inner") as inner:
+                sleep(0.5)
+        return outer, inner
+
+    outer, inner = kernel.run_main(main)
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.duration == pytest.approx(1.5)
+    assert inner.duration == pytest.approx(0.5)
+    assert outer.status == "ok"
+
+
+def test_span_marks_error_on_exception(kernel):
+    tracer = kernel.enable_tracing()
+
+    def main():
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+
+    kernel.run_main(main)
+    (doomed,) = tracer.find("doomed")
+    assert doomed.status == "error"
+    assert doomed.error == "ValueError"
+
+
+def test_spawned_thread_inherits_active_span(kernel):
+    tracer = kernel.enable_tracing()
+
+    def child():
+        with tracer.span("child.work"):
+            sleep(0.2)
+
+    def main():
+        with tracer.span("parent"):
+            thread = spawn(child)
+            thread.join()
+
+    kernel.run_main(main)
+    (parent,) = tracer.find("parent")
+    (work,) = tracer.find("child.work")
+    assert work.parent_id == parent.span_id
+    # Per-thread state is dropped once threads exit.
+    assert tracer._threads == {}
+
+
+def test_attach_installs_remote_parent(kernel):
+    """A wire context from another thread becomes the parent."""
+    tracer = kernel.enable_tracing()
+    remote = tracer.start_span("remote", activate=False)
+    context = TraceContext(trace_id=tracer.trace_id,
+                           span_id=remote.span_id)
+
+    def main():
+        with tracer.attach(context):
+            with tracer.span("served"):
+                sleep(0.1)
+        tracer.end_span(remote)
+
+    kernel.run_main(main)
+    (served,) = tracer.find("served")
+    assert served.parent_id == remote.span_id
+
+
+def test_attach_is_noop_when_context_is_ancestor(kernel):
+    """The in-process fast path: re-attaching an ancestor keeps the
+    deeper (more precise) nesting."""
+    tracer = kernel.enable_tracing()
+
+    def main():
+        with tracer.span("outer") as outer:
+            context = TraceContext(trace_id=tracer.trace_id,
+                                   span_id=outer.span_id)
+            with tracer.span("middle") as middle:
+                with tracer.attach(context):
+                    with tracer.span("leaf"):
+                        pass
+                return middle
+
+    middle = kernel.run_main(main)
+    (leaf,) = tracer.find("leaf")
+    assert leaf.parent_id == middle.span_id  # not re-parented to outer
+
+
+def test_wrap_payload_carries_current_context(kernel):
+    tracer = kernel.enable_tracing()
+
+    def main():
+        with tracer.span("caller") as caller:
+            wrapped = tracer.wrap_payload(lambda: 42)
+            return caller, wrapped
+
+    caller, wrapped = kernel.run_main(main)
+    assert isinstance(wrapped, TracedRunnable)
+    assert wrapped.context.span_id == caller.span_id
+
+
+def test_null_tracer_wrap_payload_passthrough(kernel):
+    runnable = object()
+    assert kernel.tracer.wrap_payload(runnable) is runnable
+    assert kernel.tracer.start_span("x").set("k", "v").open is False
+
+
+def test_tracing_does_not_change_timestamps():
+    """The zero-cost invariant: identical virtual timeline either way."""
+    def workload():
+        def child():
+            sleep(0.25)
+        threads = [spawn(child) for _ in range(3)]
+        for thread in threads:
+            thread.join()
+        sleep(0.5)
+
+    ends = []
+    for trace in (False, True):
+        with Kernel(seed=9) as kernel:
+            if trace:
+                tracer = kernel.enable_tracing()
+
+                def main():
+                    with tracer.span("main"):
+                        workload()
+            else:
+                main = workload
+            kernel.run_main(main)
+            ends.append(kernel.now)
+    assert ends[0] == ends[1]
+
+
+def test_chrome_trace_structure(kernel):
+    tracer = kernel.enable_tracing()
+
+    def main():
+        with tracer.span("root", kind="client", endpoint="client"):
+            with tracer.span("rpc", kind="server", endpoint="node-1",
+                             attributes={"bytes": 128}):
+                sleep(0.010)
+
+    kernel.run_main(main)
+    doc = to_chrome_trace(tracer)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert len(spans) == 2
+    rpc = next(e for e in spans if e["name"] == "rpc")
+    assert rpc["cat"] == "server"
+    assert rpc["dur"] == pytest.approx(10_000, rel=1e-6)  # microseconds
+    assert rpc["args"]["bytes"] == 128
+    assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+    # Round-trips through JSON.
+    assert json.loads(chrome_trace_json(tracer)) == json.loads(
+        json.dumps(doc, sort_keys=True))
+
+
+def test_span_tree_and_critical_path(kernel):
+    tracer = kernel.enable_tracing()
+
+    def main():
+        with tracer.span("root"):
+            with tracer.span("fast"):
+                sleep(0.1)
+            with tracer.span("slow"):
+                sleep(0.9)
+
+    kernel.run_main(main)
+    tree = span_tree(tracer)
+    assert "root" in tree and "|-- fast" in tree and "`-- slow" in tree
+    path = [span.name for span, _self in critical_path(tracer)]
+    assert path == ["root", "slow"]
+
+
+def test_open_spans_export_as_unfinished(kernel):
+    tracer = kernel.enable_tracing()
+    tracer.start_span("never.ends", activate=False)
+    doc = to_chrome_trace(tracer)
+    (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert event["args"]["unfinished"] is True
+    assert event["dur"] == 0

@@ -51,6 +51,7 @@ from repro.core import (
     CrucialEnvironment,
     CyclicBarrier,
     Future,
+    IdempotentStep,
     RetryPolicy,
     Semaphore,
     SharedField,
@@ -58,6 +59,7 @@ from repro.core import (
     SharedMap,
     current_environment,
     dso_costs,
+    once,
     run_all,
     shared,
 )
@@ -86,6 +88,8 @@ __all__ = [
     "CloudThread",
     "RetryPolicy",
     "run_all",
+    "IdempotentStep",
+    "once",
     "shared",
     "SharedField",
     "dso_costs",

@@ -98,6 +98,20 @@ class DsoTimings:
     #: detection + view installation: covers retry backoff quantisation
     #: and the rebalancer re-homing the object after a view change.
     retry_grace: float = 8.0
+    #: Client retry schedule for transient DSO failures: exponential
+    #: backoff starting at ``retry_backoff``, multiplied by
+    #: ``retry_backoff_multiplier`` per attempt, capped at
+    #: ``retry_backoff_max``, with up to ``retry_jitter`` (fraction)
+    #: of deterministic seeded jitter to de-synchronize retry storms.
+    retry_backoff: float = 0.25
+    retry_backoff_multiplier: float = 2.0
+    retry_backoff_max: float = 4.0
+    retry_jitter: float = 0.1
+    #: Per-container cap on the exactly-once session table (distinct
+    #: client sessions remembered for duplicate suppression).  When
+    #: exceeded, the least-recently-active fully-acknowledged session
+    #: is evicted first.
+    session_table_max: int = 4096
     #: Per-object state-transfer cost during rebalancing (includes the
     #: deliberate throttling real grids apply so rebalance does not
     #: starve foreground traffic), plus a fixed view-installation

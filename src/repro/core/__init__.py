@@ -14,7 +14,9 @@
 """
 
 from repro.core.runtime import CrucialEnvironment, current_environment
-from repro.core.cloud_thread import CloudThread, RetryPolicy, run_all
+from repro.core.cloud_thread import CloudThread, run_all
+from repro.core.idempotency import IdempotentStep, once
+from repro.core.retry import RetryPolicy, backoff_schedule
 from repro.core.shared import SharedField, dso_costs, shared
 from repro.core.objects import (
     AtomicBoolean,
@@ -32,7 +34,10 @@ __all__ = [
     "current_environment",
     "CloudThread",
     "RetryPolicy",
+    "backoff_schedule",
     "run_all",
+    "IdempotentStep",
+    "once",
     "shared",
     "SharedField",
     "dso_costs",

@@ -25,26 +25,14 @@ under the client's dispatch span.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
 from typing import Any
 
+from repro.core.retry import RetryPolicy
 from repro.core.runtime import RUNNER_FUNCTION, current_environment
 from repro.errors import FaasError, RetriesExhaustedError, SimTimeoutError
 from repro.simulation.kernel import current_kernel, current_thread
 
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Client-side control over function re-invocation (Section 4.4)."""
-
-    max_retries: int = 0
-    backoff: float = 1.0
-
-    def __post_init__(self):
-        if self.max_retries < 0:
-            raise ValueError(f"negative retries: {self.max_retries}")
-        if self.backoff < 0:
-            raise ValueError(f"negative backoff: {self.backoff}")
+__all__ = ["CloudThread", "RetryPolicy", "run_all"]
 
 
 class CloudThread:
@@ -54,11 +42,19 @@ class CloudThread:
 
     def __init__(self, runnable: Any, name: str | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 function_name: str = RUNNER_FUNCTION):
+                 function_name: str = RUNNER_FUNCTION,
+                 idempotency_key: str | None = None):
         self.runnable = runnable
         self.name = name or f"cloud-thread-{next(CloudThread._ids)}"
         self.retry_policy = retry_policy or RetryPolicy()
         self.function_name = function_name
+        #: When set, every attempt runs under the named DSO session
+        #: ``idempotency_key``: a re-invocation after a mid-body crash
+        #: *replays* the cached replies of the DSO calls the dead
+        #: attempt already made instead of re-executing them — the
+        #: whole body becomes safely re-runnable without
+        #: application-level idempotence (see repro.core.idempotency).
+        self.idempotency_key = idempotency_key
         self.attempts = 0
         self._sim_thread = None
         self._span = None
@@ -135,15 +131,28 @@ class CloudThread:
                     # payload: container-side spans re-attach to this
                     # attempt even across the pickle boundary.
                     payload = tracer.wrap_payload(self.runnable)
-                    return env.platform.invoke(
-                        env.client_endpoint, self.function_name, payload)
+                    return self._invoke_attempt(env, payload)
             except FaasError as exc:
                 last_error = exc
                 if attempt < self.retry_policy.max_retries:
-                    current_thread().sleep(self.retry_policy.backoff)
+                    rng = env.kernel.rng.stream("cloudthread.retry")
+                    current_thread().sleep(
+                        self.retry_policy.delay(attempt, rng))
         raise RetriesExhaustedError(
             f"{self.name}: failed {self.attempts} time(s); "
             f"last error: {last_error}") from last_error
+
+    def _invoke_attempt(self, env, payload) -> Any:
+        if self.idempotency_key is None:
+            return env.platform.invoke(
+                env.client_endpoint, self.function_name, payload)
+        # The body executes on this thread (the platform runs the
+        # handler synchronously here), so pinning the named session now
+        # covers every DSO call the body makes; each attempt re-enters
+        # the same name and replays the previous attempt's replies.
+        with env.dso.session(self.idempotency_key):
+            return env.platform.invoke(
+                env.client_endpoint, self.function_name, payload)
 
     def join(self, timeout: float | None = None) -> bool:
         """Block until the remote invocation completes.

@@ -1,0 +1,88 @@
+"""Idempotent re-execution helpers built on named DSO sessions.
+
+The paper makes re-execution soundness the application's problem:
+"function code is required to be idempotent" under the retry policy
+(Section 4.4), which in practice means hand-rolling iteration counters
+or write-once flags around every side effect.  These helpers remove
+that burden for side effects that live in the DSO layer.
+
+:func:`once` pins a *named session* (see :mod:`repro.dso.session`)
+around a code block.  Within the block, every shared-object invocation
+is stamped with a deterministic ``(session, seq)`` pair; the servers
+cache each reply.  Re-entering the same name — after a container kill,
+a CloudThread retry, anything — replays the same stamps, so the calls
+that already happened return their *original* replies without
+executing again, and execution resumes for real at the first call the
+previous run never completed.  A deterministic block over shared
+objects thereby becomes exactly-once end to end.
+
+:class:`IdempotentStep` is the callable packaging of the same idea,
+convenient as a CloudThread runnable or a named pipeline stage.
+
+Sessions hold server-side state (the cached replies); call
+:func:`retire` / :meth:`IdempotentStep.retire` once a step's effects
+can no longer be retried, so the tables can free the entries before
+the eviction cap does it for them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.core.runtime import current_environment, current_location
+
+
+@contextmanager
+def once(name: str) -> Iterator[str]:
+    """Run the enclosed block under the named session ``name``.
+
+    Yields the wire-level session id.  Blocks must be deterministic
+    given their cached replies (same DSO calls in the same order) —
+    the same contract state machine replication already imposes on
+    shared-object methods.
+    """
+    env = current_environment()
+    with env.dso.session(name) as sid:
+        yield sid
+
+
+def retire(name: str) -> int:
+    """Forget the named session on every live DSO node.
+
+    Returns the number of containers that held state for it.
+    """
+    env = current_environment()
+    return env.dso.retire_session(current_location(), name)
+
+
+class IdempotentStep:
+    """A named, safely re-runnable unit of work over shared objects.
+
+    ``IdempotentStep("stage-3", fn)`` behaves like ``fn`` except that
+    re-running it (e.g. as a retried CloudThread body) replays the DSO
+    effects of earlier runs instead of repeating them::
+
+        step = IdempotentStep(f"aggregate-{i}", body)
+        CloudThread(step, retry_policy=RetryPolicy(max_retries=3)).start()
+
+    The step is also a fine Runnable: ``run()`` delegates to the
+    wrapped callable under the session.
+    """
+
+    def __init__(self, name: str, fn: Callable[..., Any]):
+        self.name = name
+        self.fn = fn
+
+    def run(self, *args: Any, **kwargs: Any) -> Any:
+        with once(self.name):
+            return self.fn(*args, **kwargs)
+
+    __call__ = run
+
+    def retire(self) -> int:
+        """Release the step's cached replies on the servers."""
+        return retire(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IdempotentStep({self.name!r}, {self.fn!r})"

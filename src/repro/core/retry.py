@@ -1,0 +1,69 @@
+"""Retry schedules shared by the FaaS and DSO client paths.
+
+:class:`RetryPolicy` is the client-side control over re-invocation the
+paper describes in Section 4.4, extended with the schedule every
+production SDK ships: exponential backoff with a cap and deterministic
+seeded jitter.  The same :meth:`RetryPolicy.delay` schedule backs both
+:class:`repro.core.cloud_thread.CloudThread` re-invocations and the
+DSO layer's transient-failure retry loop (whose knobs live in
+:class:`repro.config.DsoTimings`), so a single calibration governs how
+aggressively the whole stack hammers a recovering service.
+
+This module deliberately has no dependency on the runtime or the DSO
+layer — both import it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side control over function re-invocation (Section 4.4).
+
+    ``backoff`` is the delay before the first retry; each further
+    retry multiplies it by ``multiplier`` up to ``max_backoff``.
+    ``jitter`` adds up to that fraction of extra delay, drawn from a
+    caller-supplied deterministic stream — seeded runs stay
+    replayable, but concurrent clients spread out instead of
+    retrying in lockstep.
+    """
+
+    max_retries: int = 0
+    backoff: float = 1.0
+    multiplier: float = 2.0
+    max_backoff: float = 60.0
+    jitter: float = 0.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"negative retries: {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"negative backoff: {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"backoff multiplier must be >= 1: {self.multiplier}")
+        if self.max_backoff < 0:
+            raise ValueError(f"negative max backoff: {self.max_backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based).
+
+        ``rng`` is a numpy ``Generator`` (a kernel RNG stream); omit it
+        to get the jitter-free base schedule.
+        """
+        if attempt < 0:
+            raise ValueError(f"negative attempt: {attempt}")
+        base = min(self.backoff * self.multiplier ** attempt,
+                   self.max_backoff)
+        if rng is not None and self.jitter > 0 and base > 0:
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+
+def backoff_schedule(policy: RetryPolicy, retries: int) -> list[float]:
+    """The first ``retries`` base delays of ``policy`` (no jitter)."""
+    return [policy.delay(attempt) for attempt in range(retries)]

@@ -19,25 +19,38 @@ Membership changes install totally-ordered views; a background
 rebalancer then moves objects to their new consistent-hash owners,
 holding each object's lock only for its own transfer — the "minimal
 service interruption" property, and the recovery ramp of Fig. 8.
+
+Shipped invocations are **exactly-once**: every call carries a
+deterministic :class:`repro.dso.session.SessionStamp`, containers
+remember the replies they produced per client session (replicated via
+SMR, shipped on rebalance, snapshotted on passivation), and retries —
+including failover retries against a newly promoted replica — receive
+the cached reply instead of re-executing.  The paper leaves this to
+application-level idempotence (Section 4.4); see DESIGN.md
+"Exactly-once method shipping" for the deviation.
 """
 
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.membership import MembershipService, View
 from repro.config import Config, DEFAULT_CONFIG
+from repro.core.retry import RetryPolicy
 from repro.dso.reference import DsoReference
 from repro.dso.server import DsoCall, DsoNode, ObjectContainer, ServerCondition
+from repro.dso.session import SessionStamp, _ClientSession
 from repro.errors import (
     NetworkError,
     NoSuchObjectError,
     NodeCrashedError,
     ObjectLostError,
     ServiceUnavailableError,
+    SessionReplayError,
 )
 from repro.net.network import Network, ship
 from repro.simulation.kernel import Kernel, current_thread
@@ -95,6 +108,9 @@ class LayerStats:
     creations: int = 0
     rebalanced_objects: int = 0
     lost_objects: int = 0
+    #: Retransmissions answered from a cached session reply instead of
+    #: re-executing (the exactly-once guarantee doing its job).
+    dedup_hits: int = 0
 
 
 class DsoLayer:
@@ -117,7 +133,19 @@ class DsoLayer:
         self.stats = LayerStats()
         self._placements: dict[tuple[str, str], Placement] = {}
         self._node_ids = itertools.count()
-        self._retry_backoff = 0.25
+        timings = config.dso
+        self._retry_policy = RetryPolicy(
+            backoff=timings.retry_backoff,
+            multiplier=timings.retry_backoff_multiplier,
+            max_backoff=timings.retry_backoff_max,
+            jitter=timings.retry_jitter)
+        # Exactly-once session state (client side).  Thread sessions are
+        # keyed by the calling sim thread's tid; their ids come from a
+        # per-layer counter, so session ids — and hence traces — are
+        # deterministic for a fixed seed and workload.
+        self._session_ids = itertools.count()
+        self._thread_sessions: dict[int, _ClientSession] = {}
+        self._named_stack: dict[int, list[_ClientSession]] = {}
         self._failure_detector = None
         self.membership.subscribe(self._on_view)
 
@@ -130,7 +158,8 @@ class DsoLayer:
         if name is None:
             name = f"{self.name}-{next(self._node_ids)}"
         node = DsoNode(self.kernel, self.network, name,
-                       workers=self.config.dso.node_workers)
+                       workers=self.config.dso.node_workers,
+                       session_limit=self.config.dso.session_table_max)
         self.nodes[name] = node
         latency = self.config.dso.replica_replica
         for other in self.nodes.values():
@@ -177,7 +206,7 @@ class DsoLayer:
         if node.alive:
             return node
         while name in self.membership.view.members:
-            current_thread().sleep(self._retry_backoff)
+            current_thread().sleep(self.config.dso.retry_backoff)
         node.node.restart()
         node.slow_factor = 1.0
         self.membership.join(node.node)
@@ -189,6 +218,71 @@ class DsoLayer:
 
     def live_nodes(self) -> list[DsoNode]:
         return [n for n in self.nodes.values() if n.alive]
+
+    # ------------------------------------------------------------------
+    # Client sessions (exactly-once method shipping)
+    # ------------------------------------------------------------------
+
+    def _session_for(self, client: str) -> _ClientSession:
+        """The session that will stamp the calling thread's next
+        invocation: the innermost active named session, else the
+        thread's implicit session (created lazily)."""
+        tid = current_thread().tid
+        stack = self._named_stack.get(tid)
+        if stack:
+            return stack[-1]
+        session = self._thread_sessions.get(tid)
+        if session is None:
+            session = _ClientSession(
+                sid=f"{self.name}/{client}#s{next(self._session_ids)}")
+            self._thread_sessions[tid] = session
+        return session
+
+    @contextmanager
+    def session(self, name: str) -> Iterator[str]:
+        """Run a block under a *named* session.
+
+        Re-entering the same name replays the original stamps, so
+        every DSO invocation inside the block returns its originally
+        cached reply instead of re-executing — the primitive behind
+        :func:`repro.core.idempotency.once`.  Call
+        :meth:`retire_session` once the block's effects are no longer
+        needed.  Yields the wire-level session id.
+        """
+        tid = current_thread().tid
+        session = _ClientSession(sid=f"named:{name}", named=True)
+        stack = self._named_stack.setdefault(tid, [])
+        stack.append(session)
+        try:
+            yield session.sid
+        finally:
+            stack.pop()
+            if not stack:
+                del self._named_stack[tid]
+
+    def retire_session(self, client: str, name: str) -> int:
+        """Drop a named session's cached replies from every live node.
+
+        Returns the number of containers that held state for it.  Must
+        run in a simulated thread (it pays one network round per
+        node).
+        """
+        sid = f"named:{name}"
+        retired = 0
+        for node in self.live_nodes():
+            self.network.ensure_endpoint(client)
+            self._connect(client, node.name)
+            self.network.transfer(client, node.name, ("retire", sid))
+            for container in node.containers.values():
+                if container.sessions.retire(sid):
+                    retired += 1
+        return retired
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based): exponential
+        with deterministic seeded jitter."""
+        rng = self.kernel.rng.stream(f"dso.{self.name}.retry")
+        return self._retry_policy.delay(attempt, rng)
 
     # ------------------------------------------------------------------
     # Client operations
@@ -209,9 +303,16 @@ class DsoLayer:
         """
         kwargs = kwargs or {}
         tracer = self.kernel.tracer
+        session = self._session_for(client)
+        # Stamp once, outside the retry loop: every retransmission of
+        # this logical call carries the identical (sid, seq), which is
+        # what lets servers recognise and deduplicate it.
+        stamp = session.stamp()
         with tracer.span(f"dso.invoke:{ref.type_name}.{method}",
                          kind="client", endpoint=client,
-                         attributes={"key": ref.key, "rf": ref.rf}) as span:
+                         attributes={"key": ref.key, "rf": ref.rf,
+                                     "session": stamp.sid,
+                                     "seq": stamp.seq}) as span:
             deadline = self.kernel.now + self._retry_deadline_pad()
             attempts = 0
             while True:
@@ -219,9 +320,10 @@ class DsoLayer:
                 try:
                     result = self._invoke_once(client, ref, method, args,
                                                kwargs, ctor, cost,
-                                               raw_service)
+                                               raw_service, stamp)
                     if attempts > 1:
                         span.set("retries", attempts - 1)
+                    session.acknowledge(stamp.seq)
                     return result
                 except (_StaleContainer, NetworkError,
                         NodeCrashedError) as exc:
@@ -233,7 +335,7 @@ class DsoLayer:
                         ) from exc
                     if self.kernel.now >= deadline:
                         raise
-                    current_thread().sleep(self._retry_backoff)
+                    current_thread().sleep(self._retry_delay(attempts - 1))
 
     def _retry_deadline_pad(self) -> float:
         """How long transient failures are retried before surfacing:
@@ -269,7 +371,9 @@ class DsoLayer:
                 "dso.read_bulk", kind="client", endpoint=client,
                 attributes={"objects": len(refs)}):
             deadline = self.kernel.now + self._retry_deadline_pad()
+            attempts = 0
             while True:
+                attempts += 1
                 try:
                     return self._read_bulk_once(client, refs, method,
                                                 per_read_cost)
@@ -277,7 +381,7 @@ class DsoLayer:
                     self.stats.retries += 1
                     if self.kernel.now >= deadline:
                         raise
-                    current_thread().sleep(self._retry_backoff)
+                    current_thread().sleep(self._retry_delay(attempts - 1))
 
     def read_any(self, client: str, ref: DsoReference, method: str,
                  args: tuple = (), cost: float = 0.0) -> Any:
@@ -337,7 +441,8 @@ class DsoLayer:
         key = f"__dso__/{ref.type_name}/{ref.key}"
         self.network.transfer(client, primary.name, ref.ident)
         snapshot = ship(container.instance)
-        store.put(key, (type(snapshot), snapshot.__dict__))
+        store.put(key, (type(snapshot), snapshot.__dict__,
+                        ship(container.sessions)))
         return key
 
     def restore(self, client: str, ref: DsoReference, store,
@@ -345,7 +450,7 @@ class DsoLayer:
         """Re-create a shared object from a passivated snapshot."""
         if key is None:
             key = f"__dso__/{ref.type_name}/{ref.key}"
-        cls, state = store.get(key)
+        cls, state, sessions = store.get(key)
         instance = cls.__new__(cls)
         instance.__dict__.update(state)
         placement = self._placements.get(ref.ident)
@@ -364,7 +469,12 @@ class DsoLayer:
         self._placements[ref.ident] = restored
         for name in replicas:
             copy = ship(instance) if self.copy_instances else instance
-            container = self.nodes[name].host(ref.ident, copy)
+            # Dedup state survives passivation too: a client whose
+            # write landed before the snapshot still dedups after the
+            # restore.
+            table = ship(sessions) if self.copy_instances else sessions
+            container = self.nodes[name].host(ref.ident, copy,
+                                              sessions=table)
             if isinstance(copy, ServerObject):
                 copy.attach(container)
         self.stats.creations += 1
@@ -391,15 +501,16 @@ class DsoLayer:
 
     def _invoke_once(self, client: str, ref: DsoReference, method: str,
                      args: tuple, kwargs: dict, ctor: tuple | None,
-                     cost: float, raw_service: float | None) -> Any:
+                     cost: float, raw_service: float | None,
+                     stamp: SessionStamp | None = None) -> Any:
         placement = self._lookup(ref, ctor)
         primary_name = placement.replicas[0]
         node = self._live_node(primary_name)
         version = placement.version
         self._connect(client, primary_name)
         shipped = self.network.transfer(client, primary_name,
-                                        (method, args, kwargs))
-        method, args, kwargs = shipped
+                                        (method, args, kwargs, stamp))
+        method, args, kwargs, stamp = shipped
         container = node.containers.get(ref.ident)
         if container is None or container.dead:
             raise _StaleContainer(f"{ref} not hosted on {primary_name}")
@@ -412,29 +523,89 @@ class DsoLayer:
             try:
                 if node.containers.get(ref.ident) is not container:
                     raise _StaleContainer(f"{ref} moved off {primary_name}")
-                service = (raw_service if raw_service is not None
-                           else self.config.dso.method_call_overhead)
-                current_thread().sleep((service + cost) * node.slow_factor)
-                if not node.alive or container.dead:
-                    raise NodeCrashedError(
-                        f"{primary_name} crashed during {ref}.{method}")
-                self.stats.invocations += 1
-                result = self._apply(container, method, args, kwargs, call)
-                if len(placement.replicas) > 1 \
-                        and placement.version == version:
-                    # Free the primary worker before queueing for backup
-                    # workers (keeps saturated replicating nodes
-                    # deadlock-free); the object lock still serializes the
-                    # op stream, preserving SMR's total order.
-                    call.release_worker()
-                    self._replicate(placement, ref, method, args, kwargs,
-                                    cost)
+                entry = (container.sessions.lookup(stamp)
+                         if stamp is not None else None)
+                if entry is not None:
+                    result = self._dedup_hit(placement, ref, node,
+                                             container, call, entry,
+                                             stamp, method, args, kwargs,
+                                             cost, version)
+                else:
+                    service = (raw_service if raw_service is not None
+                               else self.config.dso.method_call_overhead)
+                    current_thread().sleep((service + cost)
+                                           * node.slow_factor)
+                    if not node.alive or container.dead:
+                        raise NodeCrashedError(
+                            f"{primary_name} crashed during {ref}.{method}")
+                    self.stats.invocations += 1
+                    result = self._apply(container, method, args, kwargs,
+                                         call)
+                    replicated = (len(placement.replicas) > 1
+                                  and placement.version == version)
+                    entry = None
+                    if stamp is not None:
+                        # Remember the reply *before* replication: if we
+                        # crash mid-replication, a retry must dedup here
+                        # rather than mutate twice.  committed=False until
+                        # every backup has it.
+                        entry = container.sessions.record(
+                            stamp, self._shippable(result),
+                            committed=not replicated)
+                    if replicated:
+                        # Free the primary worker before queueing for
+                        # backup workers (keeps saturated replicating
+                        # nodes deadlock-free); the object lock still
+                        # serializes the op stream, preserving SMR's
+                        # total order.
+                        call.release_worker()
+                        self._replicate(placement, ref, method, args,
+                                        kwargs, cost, stamp, result)
+                        if entry is not None:
+                            entry.committed = True
             finally:
                 if not call.aborted:
                     call.release()
                 released = True
         assert released
         return self.network.transfer(primary_name, client, result)
+
+    def _shippable(self, value: Any) -> Any:
+        """A snapshot of ``value`` safe to cache as a session reply
+        (later object mutations must not alias into it)."""
+        return ship(value) if self.copy_instances else value
+
+    def _dedup_hit(self, placement: Placement, ref: DsoReference,
+                   node: DsoNode, container: ObjectContainer,
+                   call: DsoCall, entry, stamp: SessionStamp,
+                   method: str, args: tuple, kwargs: dict, cost: float,
+                   version: int) -> Any:
+        """Answer a retransmission from the session table.
+
+        Charges only lookup-grade service time, and — crucially — if
+        the original attempt died before replication finished
+        (``committed`` is false), re-runs replication so the cached
+        acknowledgement is as durable as a fresh one.  Backups dedup
+        the re-sent op themselves.
+        """
+        self.stats.dedup_hits += 1
+        with self.kernel.tracer.span(
+                "dso.dedup_hit", kind="server", endpoint=node.name,
+                attributes={"method": method, "session": stamp.sid,
+                            "seq": stamp.seq}):
+            current_thread().sleep(self.config.dso.get_service
+                                   * node.slow_factor)
+            if not node.alive or container.dead:
+                raise NodeCrashedError(
+                    f"{node.name} crashed during {ref}.{method} dedup")
+            if not entry.committed:
+                if (len(placement.replicas) > 1
+                        and placement.version == version):
+                    call.release_worker()
+                    self._replicate(placement, ref, method, args, kwargs,
+                                    cost, stamp, entry.reply)
+                entry.committed = True
+        return entry.reply
 
     def _apply(self, container: ObjectContainer, method: str, args: tuple,
                kwargs: dict, call: DsoCall | None) -> Any:
@@ -451,12 +622,16 @@ class DsoLayer:
         return bound(*args, **kwargs)
 
     def _replicate(self, placement: Placement, ref: DsoReference,
-                   method: str, args: tuple, kwargs: dict,
-                   cost: float) -> None:
+                   method: str, args: tuple, kwargs: dict, cost: float,
+                   stamp: SessionStamp | None = None,
+                   reply: Any = None) -> None:
         """Apply the op at every backup before acknowledging (SMR).
 
         Methods must be deterministic: each replica executes them on
-        its own copy — the state-machine-replication contract.
+        its own copy — the state-machine-replication contract.  The
+        session ``stamp`` and primary ``reply`` replicate with the op,
+        so any backup promoted to primary can still deduplicate the
+        client's retries.
         """
         hop = self.config.dso.replica_replica
         rng = self.kernel.rng.stream(f"dso.{self.name}.smr")
@@ -480,6 +655,15 @@ class DsoLayer:
                 bcontainer = backup.containers.get(ref.ident)
                 if bcontainer is None or bcontainer.dead:
                     continue
+                if stamp is not None:
+                    # A re-replication after a dedup hit (or a rebalance
+                    # that already shipped the table): this backup may
+                    # have applied the op already.
+                    try:
+                        if bcontainer.sessions.lookup(stamp) is not None:
+                            continue
+                    except SessionReplayError:
+                        continue  # applied and since truncated: done
                 with self.kernel.tracer.span(
                         "dso.smr_apply", kind="server",
                         endpoint=backup_name):
@@ -489,6 +673,10 @@ class DsoLayer:
                             (self.config.dso.smr_replica_overhead + cost)
                             * backup.slow_factor)
                         self._apply(bcontainer, method, args, kwargs, None)
+                        if stamp is not None:
+                            bcontainer.sessions.record(
+                                stamp, self._shippable(reply),
+                                committed=False)
                     finally:
                         backup.node.workers.release()
             current_thread().sleep(hop.sample(rng))  # commit round back
@@ -646,7 +834,14 @@ class DsoLayer:
                         copy = (ship(container.instance)
                                 if self.copy_instances
                                 else container.instance)
-                        self.nodes[name].host(ident, copy)
+                        # The session table migrates with the object:
+                        # a client retrying against the new owner must
+                        # still find its cached replies.
+                        sessions = (ship(container.sessions)
+                                    if self.copy_instances
+                                    else container.sessions)
+                        self.nodes[name].host(ident, copy,
+                                              sessions=sessions)
                 old_replicas = list(placement.replicas)
                 placement.replicas = list(target)
                 placement.version += 1

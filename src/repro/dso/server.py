@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cluster.node import Node
+from repro.dso.session import SessionTable
 from repro.errors import NodeCrashedError
 from repro.net.network import Network
 from repro.simulation.kernel import Kernel
@@ -103,15 +104,25 @@ class ServerCondition:
 
 
 class ObjectContainer:
-    """One replica of one shared object on one node."""
+    """One replica of one shared object on one node.
 
-    def __init__(self, node: "DsoNode", key: tuple[str, str], instance: Any):
+    Besides the instance and its linearization lock, every container
+    carries the :class:`SessionTable` that makes shipped invocations
+    exactly-once: retransmissions find their cached reply here instead
+    of re-executing (see :mod:`repro.dso.session`).
+    """
+
+    def __init__(self, node: "DsoNode", key: tuple[str, str], instance: Any,
+                 sessions: SessionTable | None = None,
+                 session_limit: int = 4096):
         self.node = node
         self.key = key
         self.instance = instance
         self.lock = Lock(node.kernel)
         self.dead = False
         self.applied_ops = 0
+        self.sessions = sessions if sessions is not None \
+            else SessionTable(limit=session_limit)
         self._conditions: list[ServerCondition] = []
 
     def condition(self) -> ServerCondition:
@@ -127,10 +138,11 @@ class DsoNode:
     """A DSO storage server."""
 
     def __init__(self, kernel: Kernel, network: Network, name: str,
-                 workers: int = 8):
+                 workers: int = 8, session_limit: int = 4096):
         self.kernel = kernel
         self.node = Node(kernel, network, name, workers=workers)
         self.containers: dict[tuple[str, str], ObjectContainer] = {}
+        self.session_limit = session_limit
         #: Service-time multiplier; the chaos layer raises it to model
         #: a degraded node (noisy neighbour, GC storm, EBS stall).
         self.slow_factor: float = 1.0
@@ -149,8 +161,17 @@ class DsoNode:
     def alive(self) -> bool:
         return self.node.alive
 
-    def host(self, key: tuple[str, str], instance: Any) -> ObjectContainer:
-        container = ObjectContainer(self, key, instance)
+    def host(self, key: tuple[str, str], instance: Any,
+             sessions: SessionTable | None = None) -> ObjectContainer:
+        """Host a replica; ``sessions`` carries the exactly-once table
+        when the object (and its dedup state) migrates here."""
+        previous = self.containers.get(key)
+        container = ObjectContainer(self, key, instance, sessions=sessions,
+                                    session_limit=self.session_limit)
+        if previous is not None and not previous.dead:
+            # Re-hosting over a live replica (rebalance converging):
+            # never forget remembered replies.
+            container.sessions.merge_from(previous.sessions)
         self.containers[key] = container
         return container
 

@@ -1,0 +1,209 @@
+"""Replicated client sessions: exactly-once method shipping.
+
+The paper's fault-tolerance story (Section 4.4) retries failed
+invocations with the identical input and leaves idempotence to the
+application.  This module lifts the guarantee into the DSO layer: every
+shipped invocation carries a :class:`SessionStamp` — a deterministic
+``(session id, sequence number)`` pair plus the client's
+acknowledgement watermark — and every :class:`ObjectContainer` keeps a
+:class:`SessionTable` mapping sessions to the replies already produced
+for them.  A retransmission (a client retry after a crash, timeout, or
+failover to a new consistent-hash owner) finds its stamp in the table
+and receives the *cached* reply instead of re-executing the method.
+
+The table is part of the object's replicated state: it is recorded at
+every backup during SMR replication, shipped with the instance during
+rebalancing, and included in passivation snapshots — so duplicate
+suppression survives node failures, view changes, and migration.
+
+Two kinds of session exist:
+
+* **thread sessions** (one per calling simulated thread, created
+  lazily) acknowledge each reply as the next invocation is stamped,
+  letting servers truncate everything at or below the watermark; a
+  thread session therefore occupies one table slot per object it
+  touched, holding at most one unacknowledged reply.
+* **named sessions** (``DsoLayer.session(name)`` /
+  :class:`repro.core.idempotency.IdempotentStep`) never advance their
+  watermark and restart their sequence from zero on re-entry, so
+  re-running the same deterministic code block *replays* the original
+  stamps and collects the original replies — whole blocks become
+  safely re-executable.  They are retired explicitly (or evicted by
+  the table cap).
+
+Identifiers are drawn from per-layer counters and the caller-supplied
+names — never from wall-clock time or process-global state — so a
+fixed kernel seed yields byte-identical session ids, traces included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SessionReplayError
+
+
+@dataclass(frozen=True)
+class SessionStamp:
+    """What a stamped invocation carries on the wire."""
+
+    #: Session identity (deterministic; see module docstring).
+    sid: str
+    #: Per-session sequence number of this invocation.
+    seq: int
+    #: Highest sequence number whose reply the client has received.
+    #: Servers may forget everything at or below it.  Named sessions
+    #: pin this at -1 so their replies survive for replay.
+    acked: int = -1
+
+
+@dataclass
+class _ClientSession:
+    """Client-side sequence/watermark state of one session."""
+
+    sid: str
+    named: bool = False
+    next_seq: int = 0
+    acked: int = -1
+
+    def stamp(self) -> SessionStamp:
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        return SessionStamp(sid=self.sid, seq=seq, acked=self.acked)
+
+    def acknowledge(self, seq: int) -> None:
+        """Record receipt of ``seq``'s reply (no-op for named
+        sessions, whose replies must remain replayable)."""
+        if not self.named and seq > self.acked:
+            self.acked = seq
+
+
+@dataclass
+class SessionEntry:
+    """One remembered reply: the server-side dedup record."""
+
+    reply: Any
+    #: True once the op is known stable at every replica (set by the
+    #: primary after SMR replication completed, or immediately for
+    #: unreplicated objects).  A dedup hit on an uncommitted entry
+    #: re-runs replication — which backups in turn deduplicate — so a
+    #: cached acknowledgement never weakens durability.
+    committed: bool = False
+
+
+@dataclass
+class _SessionState:
+    """Per-session server-side state inside one container's table."""
+
+    #: Highest sequence number ever recorded for this session here.
+    last_seq: int = -1
+    #: seq -> entry, pruned by the acknowledgement watermark.
+    replies: dict[int, SessionEntry] = field(default_factory=dict)
+
+
+class SessionTable:
+    """Per-container map of client sessions to cached replies.
+
+    Plain data (picklable): tables travel inside ``ship()`` during
+    rebalancing and passivation exactly like the object instance they
+    guard.
+    """
+
+    def __init__(self, limit: int = 4096):
+        self.limit = limit
+        self._sessions: dict[str, _SessionState] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def entry_count(self) -> int:
+        return sum(len(s.replies) for s in self._sessions.values())
+
+    def lookup(self, stamp: SessionStamp) -> SessionEntry | None:
+        """The cached entry for ``stamp``, or ``None`` if the call is
+        new.  Raises :class:`SessionReplayError` for sequence numbers
+        the table has already truncated — a protocol violation.
+        """
+        state = self._sessions.get(stamp.sid)
+        if state is None:
+            return None
+        self._touch(stamp.sid)
+        entry = state.replies.get(stamp.seq)
+        if entry is not None:
+            return entry
+        if stamp.seq <= min(state.last_seq, stamp.acked):
+            raise SessionReplayError(
+                f"session {stamp.sid!r} replayed acknowledged seq "
+                f"{stamp.seq} (watermark {stamp.acked})")
+        return None
+
+    def record(self, stamp: SessionStamp, reply: Any,
+               committed: bool) -> SessionEntry:
+        """Remember ``reply`` for ``stamp`` and prune acknowledged
+        predecessors."""
+        state = self._sessions.get(stamp.sid)
+        if state is None:
+            state = self._sessions[stamp.sid] = _SessionState()
+        self._touch(stamp.sid)
+        entry = SessionEntry(reply=reply, committed=committed)
+        state.replies[stamp.seq] = entry
+        state.last_seq = max(state.last_seq, stamp.seq)
+        self.truncate(stamp)
+        self._evict()
+        return entry
+
+    def truncate(self, stamp: SessionStamp) -> None:
+        """Drop this session's replies at or below the watermark."""
+        state = self._sessions.get(stamp.sid)
+        if state is None or stamp.acked < 0:
+            return
+        for seq in [s for s in state.replies if s <= stamp.acked]:
+            del state.replies[seq]
+
+    def retire(self, sid: str) -> bool:
+        """Forget a session entirely (explicit GC for named
+        sessions)."""
+        return self._sessions.pop(sid, None) is not None
+
+    def _touch(self, sid: str) -> None:
+        # dict preserves insertion order; re-inserting keeps the table
+        # ordered by recency so eviction hits the coldest session.
+        state = self._sessions.pop(sid)
+        self._sessions[sid] = state
+
+    def _evict(self) -> None:
+        if len(self._sessions) <= self.limit:
+            return
+        # Prefer fully-acknowledged sessions (no replies retained);
+        # fall back to the coldest one.  Evicting an unacknowledged
+        # session is the standard bounded-table tradeoff: a later
+        # retransmission would re-execute.  Size the cap generously.
+        victim = None
+        for sid, state in self._sessions.items():
+            if not state.replies:
+                victim = sid
+                break
+        if victim is None:
+            victim = next(iter(self._sessions))
+        del self._sessions[victim]
+
+    def merge_from(self, other: "SessionTable") -> None:
+        """Adopt sessions from ``other`` that this table lacks.
+
+        Used when rebalancing hosts an object on a node that already
+        held a (stale) replica: remembered replies must never be
+        forgotten by a transfer.
+        """
+        for sid, state in other._sessions.items():
+            mine = self._sessions.get(sid)
+            if mine is None:
+                self._sessions[sid] = state
+            else:
+                for seq, entry in state.replies.items():
+                    mine.replies.setdefault(seq, entry)
+                mine.last_seq = max(mine.last_seq, state.last_seq)
+
+    def sessions(self) -> list[str]:
+        """Session ids currently remembered (test introspection)."""
+        return list(self._sessions)

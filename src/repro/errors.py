@@ -91,6 +91,17 @@ class ObjectLostError(CloudError):
     """An ephemeral shared object was lost in a storage-node failure."""
 
 
+class SessionReplayError(CloudError):
+    """A session retransmitted a sequence number the server already
+    truncated (or saw out of order).
+
+    Correct clients never trigger this: a session issues invocations
+    sequentially and only retransmits its newest, unacknowledged one.
+    Surfacing the condition loudly (instead of silently re-executing)
+    is what keeps the exactly-once contract auditable.
+    """
+
+
 class SerializationError(CloudError):
     """A value shipped between nodes is not serializable."""
 

@@ -314,7 +314,9 @@ class FaasPlatform:
 
         def attempt_loop():
             last_error: BaseException | None = None
+            attempts = 0
             for attempt in range(max_retries + 1):
+                attempts = attempt + 1
                 try:
                     return self.invoke(invoker, function.name, payload)
                 except FaasError as exc:
@@ -329,6 +331,7 @@ class FaasPlatform:
                     "function": function.name,
                     "payload": payload,
                     "error": str(last_error),
+                    "attempts": attempts,
                 })
                 return None
             raise last_error

@@ -12,6 +12,12 @@ View changes re-home the responder role; operations stalled on a
 crashed member are flushed by the view-synchrony layer.  Because every
 surviving replica applied the same prefix, any acknowledged operation
 survives ``n - 1`` member crashes.
+
+Operations may carry a :class:`repro.dso.session.SessionStamp`; each
+member then keeps a session table alongside its copy (included in
+state transfer), so a client retransmitting an operation after a
+responder crash gets the cached reply instead of applying it twice —
+the same exactly-once contract the DSO layer offers.
 """
 
 from __future__ import annotations
@@ -20,7 +26,8 @@ import itertools
 from typing import Any, Callable
 
 from repro.cluster.membership import MembershipService, View
-from repro.errors import ServiceUnavailableError
+from repro.dso.session import SessionStamp, SessionTable
+from repro.errors import ServiceUnavailableError, SessionReplayError
 from repro.multicast.view_synchrony import ViewSynchronousGroup
 from repro.net.network import Network, ship
 from repro.simulation.kernel import Kernel
@@ -42,6 +49,8 @@ class ReplicatedStateMachine:
         self.copies: dict[str, Any] = {}
         #: member -> applied operation log (op ids, for the tests)
         self.logs: dict[str, list] = {}
+        #: member -> exactly-once session table (replicated state)
+        self.sessions: dict[str, SessionTable] = {}
         self._ids = itertools.count()
         #: op_id -> {"event": Event, "result": Any, "applied": set}
         self._pending: dict[int, dict] = {}
@@ -57,15 +66,18 @@ class ReplicatedStateMachine:
         if member not in self.copies:
             self.copies[member] = self.factory()
             self.logs[member] = []
+            self.sessions[member] = SessionTable()
 
     def _on_view(self, view: View) -> None:
         for member in view.members:
             if member not in self.copies and self.copies:
-                # State transfer: a joiner copies a survivor's state.
+                # State transfer: a joiner copies a survivor's state —
+                # session tables included, so dedup survives the join.
                 donor = next(m for m in self.copies
                              if self.network.endpoint(m).alive)
                 self.copies[member] = ship(self.copies[donor])
                 self.logs[member] = list(self.logs[donor])
+                self.sessions[member] = ship(self.sessions[donor])
             else:
                 self._ensure_copy(member)
         # Complete acks whose responder died before responding.
@@ -84,12 +96,30 @@ class ReplicatedStateMachine:
     # -- operation path ----------------------------------------------------------------
 
     def _deliver(self, member: str, payload: Any) -> None:
-        op_id, method, args = payload
+        if len(payload) == 4:
+            op_id, method, args, stamp = payload
+        else:  # legacy 3-tuple payloads (no session)
+            op_id, method, args = payload
+            stamp = None
         copy = self.copies.get(member)
         if copy is None:
             return
-        result = getattr(copy, method)(*ship(args))
-        self.logs[member].append(op_id)
+        entry = None
+        if stamp is not None:
+            try:
+                entry = self.sessions[member].lookup(stamp)
+            except SessionReplayError:
+                return  # applied here and since truncated
+        if entry is not None:
+            result = entry.reply  # duplicate: replay, don't re-apply
+        else:
+            result = getattr(copy, method)(*ship(args))
+            self.logs[member].append(op_id)
+            if stamp is not None:
+                # Total-order delivery means an op recorded here is
+                # recorded everywhere: committed from the start.
+                self.sessions[member].record(stamp, result,
+                                             committed=True)
         record = self._pending.get(op_id)
         if record is None:
             return
@@ -98,11 +128,14 @@ class ReplicatedStateMachine:
             record["result"] = result
             record["event"].set()
 
-    def invoke(self, client: str, method: str, *args: Any) -> Any:
+    def invoke(self, client: str, method: str, *args: Any,
+               session: SessionStamp | None = None) -> Any:
         """Apply ``method`` at every replica; return the result.
 
         Blocks the calling simulated thread until the responder
         delivered (hence every earlier op is stable at all replicas).
+        ``session`` stamps the operation for exactly-once semantics: a
+        retransmission with the same stamp replays the cached reply.
         """
         responder = self._responder()
         self.network.transfer(client, responder, (method, args))
@@ -110,7 +143,7 @@ class ReplicatedStateMachine:
         record = {"event": Event(self.kernel), "result": None,
                   "applied": set(), "responder": responder}
         self._pending[op_id] = record
-        self.group.multicast(responder, (op_id, method, ship(args)))
+        self.group.multicast(responder, (op_id, method, ship(args), session))
         record["event"].wait()
         if not record["applied"]:
             raise ServiceUnavailableError(

@@ -83,9 +83,9 @@ def test_rf2_durability_under_generated_crash_schedule(kernel, network):
 
     acked, final = kernel.run_main(main)
     assert acked == 40
-    # At-least-once retries may double-apply an add whose ack was lost
-    # mid-crash, but acknowledged increments can never go missing.
-    assert final >= acked
+    # Exactly-once: acknowledged increments can never go missing, and
+    # session dedup keeps failover retries from double-applying.
+    assert final == acked
     crashes = injector.log.counts("inject").get("crash_node", 0)
     restarts = injector.log.counts("inject").get("restart_node", 0)
     assert crashes >= 1

@@ -1,0 +1,28 @@
+"""Repo-wide test fixtures.
+
+``CHAOS_SEED`` (environment variable, comma-separated) narrows the
+seeded-chaos matrix to specific seeds — the CI soak job uses it to
+shard the suite across seeds and to re-run a failing seed in
+isolation.
+"""
+
+import os
+
+import pytest
+
+#: The default seed matrix for seeded chaos tests.  Every seed must
+#: pass; failures are reported (and reproducible) per seed.
+CHAOS_SEEDS = (7, 23, 101)
+
+
+def _selected_seeds():
+    override = os.environ.get("CHAOS_SEED")
+    if override:
+        return tuple(int(s) for s in override.split(","))
+    return CHAOS_SEEDS
+
+
+@pytest.fixture(params=_selected_seeds(),
+                ids=lambda seed: f"seed{seed}")
+def chaos_seed(request):
+    return request.param

@@ -1,0 +1,97 @@
+"""IdempotentStep / once(): safely re-runnable blocks of DSO work."""
+
+from repro import (
+    AtomicInt,
+    CloudThread,
+    CrucialEnvironment,
+    IdempotentStep,
+    SharedList,
+    once,
+)
+
+
+def test_once_block_replays_on_re_entry():
+    with CrucialEnvironment(seed=2) as env:
+        def main():
+            counter = AtomicInt("blk", 0)
+            results = []
+            for _ in range(3):  # "retries" of the same logical block
+                with once("charge-card"):
+                    results.append(counter.increment_and_get())
+            return results, counter.get()
+
+        results, final = env.run(main)
+        assert results == [1, 1, 1]
+        assert final == 1
+        assert env.dso.stats.dedup_hits == 2
+
+
+def test_once_blocks_with_different_names_are_independent():
+    with CrucialEnvironment(seed=2) as env:
+        def main():
+            counter = AtomicInt("indep", 0)
+            with once("step-a"):
+                counter.increment_and_get()
+            with once("step-b"):
+                counter.increment_and_get()
+            return counter.get()
+
+        assert env.run(main) == 2
+        assert env.dso.stats.dedup_hits == 0
+
+
+class AppendStep:
+    def __init__(self, item):
+        self.item = item
+        self.log = SharedList("steps")
+
+    def __call__(self):
+        self.log.append(self.item)
+        return self.log.size()
+
+
+def test_idempotent_step_runs_exactly_once():
+    with CrucialEnvironment(seed=4) as env:
+        def main():
+            step = IdempotentStep("append-alpha", AppendStep("alpha"))
+            first = step()
+            again = step()  # replayed, not re-executed
+            log = SharedList("steps")
+            return first, again, log.get_all()
+
+        first, again, items = env.run(main)
+        assert first == again == 1
+        assert items == ["alpha"]
+
+
+def test_idempotent_step_retire_releases_the_session():
+    with CrucialEnvironment(seed=4) as env:
+        def main():
+            step = IdempotentStep("append-beta", AppendStep("beta"))
+            step()
+            retired = step.retire()
+            step()  # re-executes: the session was forgotten
+            log = SharedList("steps")
+            return retired, log.get_all()
+
+        retired, items = env.run(main)
+        assert retired >= 1
+        assert items == ["beta", "beta"]
+
+
+def test_idempotent_step_works_as_cloud_thread_runnable():
+    with CrucialEnvironment(seed=6) as env:
+        def main():
+            counter = AtomicInt("ct", 0)
+            counter.get()
+            step = IdempotentStep(
+                "remote-step",
+                AppendStep("remote"))
+            thread = CloudThread(step, name="step-runner")
+            thread.start()
+            size = thread.result()
+            return size, SharedList("steps").get_all()
+
+        size, items = env.run(main)
+        assert size == 1
+        assert items == ["remote"]

@@ -1,0 +1,135 @@
+"""RetryPolicy schedules and CloudThread idempotent re-invocation."""
+
+import pytest
+
+from repro import AtomicInt, CloudThread, CrucialEnvironment, RetryPolicy
+from repro.chaos import ChaosInjector, FaultPlan
+from repro.core.retry import backoff_schedule
+from repro.core.runtime import RUNNER_FUNCTION, compute
+from repro.errors import RetriesExhaustedError
+from repro.simulation import Kernel
+
+
+# -- the policy itself --------------------------------------------------------
+
+
+def test_delay_schedule_is_exponential_and_capped():
+    policy = RetryPolicy(max_retries=6, backoff=0.25, multiplier=2.0,
+                         max_backoff=1.5)
+    assert [policy.delay(a) for a in range(5)] == \
+        [0.25, 0.5, 1.0, 1.5, 1.5]
+
+
+def test_backoff_schedule_helper():
+    policy = RetryPolicy(backoff=1.0, multiplier=3.0, max_backoff=10.0)
+    assert backoff_schedule(policy, 4) == [1.0, 3.0, 9.0, 10.0]
+
+
+def test_jitter_draws_from_the_given_stream_deterministically():
+    policy = RetryPolicy(backoff=1.0, jitter=0.5)
+
+    def draws(seed):
+        with Kernel(seed=seed) as kernel:
+            rng = kernel.rng.stream("test.retry")
+            return [policy.delay(0, rng) for _ in range(5)]
+
+    first, second = draws(42), draws(42)
+    assert first == second  # same seed, same jittered schedule
+    assert all(1.0 <= d <= 1.5 for d in first)
+    assert len(set(first)) > 1  # it does actually jitter
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_backoff=-1.0)
+
+
+def test_dso_layer_backoff_comes_from_config():
+    from repro.config import DEFAULT_CONFIG
+    from repro.dso.layer import DsoLayer
+    from repro.net import LatencyModel, Network
+
+    with Kernel(seed=1) as kernel:
+        network = Network(kernel, LatencyModel(0.0001))
+        layer = DsoLayer(kernel, network)
+        timings = DEFAULT_CONFIG.dso
+        policy = layer._retry_policy
+        assert policy.backoff == timings.retry_backoff
+        assert policy.multiplier == timings.retry_backoff_multiplier
+        assert policy.max_backoff == timings.retry_backoff_max
+        assert policy.jitter == timings.retry_jitter
+
+
+# -- CloudThread integration --------------------------------------------------
+
+
+class Noop:
+    def run(self):
+        return None
+
+
+def test_cloud_thread_backoff_grows_between_attempts():
+    with CrucialEnvironment(seed=3) as env:
+        env.platform.inject_failures(RUNNER_FUNCTION, rate=1.0,
+                                     kind="before")
+
+        def main():
+            start = env.kernel.now
+            thread = CloudThread(
+                Noop(), name="doomed",
+                retry_policy=RetryPolicy(max_retries=2, backoff=0.5,
+                                         multiplier=2.0))
+            thread.start()
+            with pytest.raises(RetriesExhaustedError):
+                thread.result()
+            return thread.attempts, env.kernel.now - start
+
+        attempts, elapsed = env.run(main)
+        assert attempts == 3
+        # Exponential schedule: 0.5s then 1.0s between the attempts.
+        assert elapsed >= 1.5
+
+
+class IncrementOnce:
+    def __init__(self):
+        self.counter = AtomicInt("retry-counter", 0)
+
+    def run(self):
+        self.counter.increment_and_get()
+        compute(2.0)  # window for the chaos kill to land
+        return self.counter.get()
+
+
+def test_idempotency_key_prevents_double_apply_on_retry():
+    """A container kill after the increment forces a re-invocation;
+    the named session replays the increment instead of repeating it."""
+    with CrucialEnvironment(seed=11) as env:
+        injector = ChaosInjector(env.kernel, platform=env.platform)
+
+        def main():
+            env.pre_warm(1)
+            counter = AtomicInt("retry-counter", 0)
+            counter.get()  # create before the thread races the kill
+            injector.schedule(FaultPlan().add(
+                1.0, "kill_container", RUNNER_FUNCTION))
+            thread = CloudThread(
+                IncrementOnce(), name="once",
+                retry_policy=RetryPolicy(max_retries=3, backoff=0.2),
+                idempotency_key="increment-once")
+            thread.start()
+            result = thread.result()
+            return thread.attempts, result, counter.get()
+
+        attempts, result, final = env.run(main)
+        assert attempts == 2  # the kill really forced a retry
+        assert result == 1
+        assert final == 1  # exactly once, not once per attempt
+        assert env.dso.stats.dedup_hits >= 1

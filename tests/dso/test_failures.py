@@ -106,7 +106,8 @@ def test_joint_failure_of_all_replicas_loses_object(kernel, network):
 
 def test_writes_during_failover_are_not_lost(kernel, network):
     """A writer hammering the object through a crash keeps a
-    consistent count: every acknowledged add is reflected."""
+    consistent count: every acknowledged add is reflected exactly
+    once — session dedup prevents failover retries from re-applying."""
     layer = make_layer(kernel, network, nodes=3)
     r = ref("w", persistent=True, rf=2)
     acknowledged = []
@@ -125,10 +126,10 @@ def test_writes_during_failover_are_not_lost(kernel, network):
         return layer.invoke("client", r, "get", ctor=CTOR)
 
     final = kernel.run_main(main)
-    # All acknowledged increments survive.  At-least-once retries may
-    # re-apply an unacknowledged one, so final >= acknowledged count.
-    assert final >= len(acknowledged) >= 30
-    assert final >= acknowledged[-1]
+    # Every acknowledged increment survives, and none is applied
+    # twice: exactly-once, not at-least-once.
+    assert final == len(acknowledged) == 30
+    assert final == acknowledged[-1]
 
 
 def test_operations_queue_behind_rebalancing_object(kernel, network):

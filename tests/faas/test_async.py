@@ -75,6 +75,7 @@ def test_async_dead_letter_queue(kernel, platform):
     assert body["function"] == "doomed"
     assert body["payload"] == {"job": 9}
     assert "failed" in body["error"]
+    assert body["attempts"] == 2  # 1 initial + max_retries=1
 
 
 def test_async_success_skips_dlq(kernel, platform):

@@ -64,6 +64,7 @@ from repro.core import (
     shared,
 )
 from repro.core.runtime import RUNNER_FUNCTION, compute, current_location
+from repro.dso.cache import readonly
 from repro.trace import (
     Span,
     TraceContext,
@@ -93,6 +94,7 @@ __all__ = [
     "shared",
     "SharedField",
     "dso_costs",
+    "readonly",
     "AtomicInt",
     "AtomicLong",
     "AtomicBoolean",

@@ -20,6 +20,7 @@ import time
 
 from repro.harness import (
     ablation_shipping,
+    cache_readpath,
     fig2a_throughput,
     fig2b_montecarlo,
     fig3_scaleup,
@@ -65,6 +66,8 @@ EXPERIMENTS = {
     "ablation": (ablation_shipping,
                  {"default": {"worker_counts": (8, 20, 40)},
                   "full": {"worker_counts": (8, 20, 40, 80)}}),
+    "cache": (cache_readpath,
+              {"default": {"ops": 300}, "full": {"ops": 2000}}),
 }
 
 

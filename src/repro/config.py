@@ -112,6 +112,21 @@ class DsoTimings:
     #: exceeded, the least-recently-active fully-acknowledged session
     #: is evicted first.
     session_table_max: int = 4096
+    #: Validity window of a client read lease (see repro.dso.cache).
+    #: A mutating invocation that cannot reach a lease holder must
+    #: wait out the remainder of this window before acknowledging, so
+    #: the TTL bounds write stalls under partitions; it also bounds
+    #: how long a cache entry can survive without re-contacting the
+    #: primary.  Leases only exist when the read cache is enabled
+    #: (``DsoLayer(read_cache=True)``); the default deployment ships
+    #: every read, matching the paper and the Table 2 calibration.
+    lease_ttl: float = 5.0
+    #: Local service time of a cache hit (lookup + deserialization at
+    #: the function host — the "hundreds of microseconds down to
+    #: microseconds" step Cloudburst reports for host-local caches).
+    cache_hit_overhead: float = 2 * MICROS
+    #: Per-endpoint cap on cached objects (LRU beyond this).
+    cache_max_objects: int = 256
     #: Per-object state-transfer cost during rebalancing (includes the
     #: deliberate throttling real grids apply so rebalance does not
     #: starve foreground traffic), plus a fixed view-installation

@@ -14,6 +14,14 @@ exact same input — soundness under re-execution (idempotence) is the
 application's responsibility, typically via a shared iteration
 counter.
 
+With the DSO read cache enabled (``CrucialEnvironment(read_cache=
+True)``), the container a CloudThread's body lands on matters: each
+FaaS container keeps its own leased-snapshot cache, so consecutive
+invocations served by the same warm container hit state the previous
+body already read, while a cold start — or a container reclaimed by
+keep-alive expiry or chaos — begins with an empty cache (the platform
+notifies the DSO layer via ``on_container_reclaim``).
+
 When tracing is enabled, every CloudThread contributes one
 ``cloudthread:<name>`` span covering dispatch through completion, with
 each invocation attempt as a child — so retries appear as sibling

@@ -4,6 +4,11 @@ Each entry pairs a *server class* (the state machine living on DSO
 nodes) with a *proxy class* (the typed client stub).  All objects are
 wait-free and linearizable: every invocation completes in a bounded
 number of steps at its primary replica, under the per-object lock.
+
+Side-effect-free methods carry the :func:`~repro.dso.cache.readonly`
+marker, making them eligible for the lease-based client cache when a
+layer enables it (``read_cache=True``); mutating methods never carry
+it, so they revoke outstanding leases before acknowledging.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.core.proxy import DsoProxy
+from repro.dso.cache import readonly
 
 # ---------------------------------------------------------------------------
 # Server-side state machines
@@ -23,6 +29,7 @@ class _AtomicValue:
     def __init__(self, value: Any = 0):
         self.value = value
 
+    @readonly
     def get(self) -> Any:
         return self.value
 
@@ -64,6 +71,7 @@ class _AtomicBoolean:
     def __init__(self, value: bool = False):
         self.value = bool(value)
 
+    @readonly
     def get(self) -> bool:
         return self.value
 
@@ -86,15 +94,18 @@ class _AtomicByteArray:
     def __init__(self, size: int):
         self.data = bytearray(size)
 
+    @readonly
     def get(self, index: int) -> int:
         return self.data[index]
 
     def set(self, index: int, value: int) -> None:
         self.data[index] = value
 
+    @readonly
     def length(self) -> int:
         return len(self.data)
 
+    @readonly
     def to_bytes(self) -> bytes:
         return bytes(self.data)
 
@@ -113,15 +124,18 @@ class _SharedList:
     def extend(self, items: Iterable[Any]) -> None:
         self.items.extend(items)
 
+    @readonly
     def get(self, index: int) -> Any:
         return self.items[index]
 
     def set(self, index: int, item: Any) -> None:
         self.items[index] = item
 
+    @readonly
     def get_all(self) -> list[Any]:
         return list(self.items)
 
+    @readonly
     def size(self) -> int:
         return len(self.items)
 
@@ -138,6 +152,7 @@ class _SharedMap:
         self.items[key] = value
         return previous
 
+    @readonly
     def get(self, key: Any, default: Any = None) -> Any:
         return self.items.get(key, default)
 
@@ -150,15 +165,19 @@ class _SharedMap:
     def remove(self, key: Any) -> Any:
         return self.items.pop(key, None)
 
+    @readonly
     def contains_key(self, key: Any) -> bool:
         return key in self.items
 
+    @readonly
     def keys(self) -> list[Any]:
         return list(self.items.keys())
 
+    @readonly
     def entries(self) -> list[tuple[Any, Any]]:
         return list(self.items.items())
 
+    @readonly
     def size(self) -> int:
         return len(self.items)
 

@@ -90,7 +90,8 @@ class CrucialEnvironment:
                  dso_nodes: int = 1, config: Config = DEFAULT_CONFIG,
                  function_memory_mb: int = 1792,
                  copy_messages: bool = True,
-                 trace_enabled: bool = False):
+                 trace_enabled: bool = False,
+                 read_cache: bool = False):
         self._owns_kernel = kernel is None
         self.kernel = kernel or Kernel(seed=seed)
         if trace_enabled:
@@ -103,8 +104,16 @@ class CrucialEnvironment:
         self.client_endpoint = "client"
         self.network.ensure_endpoint(self.client_endpoint)
         self.platform = FaasPlatform(self.kernel, self.network, config)
+        #: ``read_cache=True`` turns on lease-based client-side caching
+        #: of read-only DSO methods (repro.dso.cache); off by default,
+        #: preserving the paper's always-ship read path.
         self.dso = DsoLayer(self.kernel, self.network, config,
-                            copy_instances=copy_messages)
+                            copy_instances=copy_messages,
+                            read_cache=read_cache)
+        # Cache lifetime == container lifetime: when the platform
+        # reclaims a container (keep-alive expiry, chaos kill), the DSO
+        # layer drops that endpoint's leased-snapshot cache.
+        self.platform.on_container_reclaim(self.dso.drop_endpoint_cache)
         self.object_store = ObjectStore(self.kernel, config)
         self.queue_service = QueueService(self.kernel, config)
         self.notification = NotificationService(

@@ -8,7 +8,8 @@ persistent objects are replicated with state machine replication, and
 membership changes trigger background rebalancing.
 """
 
+from repro.dso.cache import ObjectCache, readonly
 from repro.dso.reference import DsoReference
 from repro.dso.layer import DsoLayer
 
-__all__ = ["DsoReference", "DsoLayer"]
+__all__ = ["DsoReference", "DsoLayer", "ObjectCache", "readonly"]

@@ -28,6 +28,13 @@ including failover retries against a newly promoted replica — receive
 the cached reply instead of re-executing.  The paper leaves this to
 application-level idempotence (Section 4.4); see DESIGN.md
 "Exactly-once method shipping" for the deviation.
+
+With ``read_cache=True`` the layer additionally serves methods marked
+:func:`~repro.dso.cache.readonly` from per-container leased snapshot
+caches; mutating invocations revoke outstanding leases before they are
+acknowledged, and failover/rebalance invalidate leases via the
+placement version.  Off by default (the paper always ships); see
+:mod:`repro.dso.cache` and DESIGN.md "Lease-based caching".
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.membership import MembershipService, View
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.retry import RetryPolicy
+from repro.dso.cache import CacheEntry, LeaseGrant, ObjectCache, is_readonly, readonly
 from repro.dso.reference import DsoReference
 from repro.dso.server import DsoCall, DsoNode, ObjectContainer, ServerCondition
 from repro.dso.session import SessionStamp, _ClientSession
@@ -82,6 +90,7 @@ class KvSlot:
     def __init__(self, value: Any = None):
         self.value = value
 
+    @readonly
     def get(self) -> Any:
         return self.value
 
@@ -91,6 +100,10 @@ class KvSlot:
 
 class _StaleContainer(Exception):
     """Internal: the container moved while we queued on its lock."""
+
+
+#: Sentinel distinguishing "cache miss" from a cached ``None`` result.
+_CACHE_MISS = object()
 
 
 @dataclass
@@ -111,6 +124,14 @@ class LayerStats:
     #: Retransmissions answered from a cached session reply instead of
     #: re-executing (the exactly-once guarantee doing its job).
     dedup_hits: int = 0
+    #: Read-only invocations served from a leased client-side cache
+    #: (no network round trip) / ones that had to ship after all.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Leases handed out by primaries with read-only replies.
+    leases_granted: int = 0
+    #: Leases revoked by mutating invocations before acknowledging.
+    lease_revocations: int = 0
 
 
 class DsoLayer:
@@ -118,7 +139,7 @@ class DsoLayer:
 
     def __init__(self, kernel: Kernel, network: Network,
                  config: Config = DEFAULT_CONFIG, name: str = "dso",
-                 copy_instances: bool = True):
+                 copy_instances: bool = True, read_cache: bool = False):
         self.kernel = kernel
         self.network = network
         self.config = config
@@ -126,6 +147,14 @@ class DsoLayer:
         #: Ship object state through pickle on creation/rebalance.
         #: Benchmarks with huge logical objects can disable it.
         self.copy_instances = copy_instances
+        #: Lease-based client-side caching of read-only invocations
+        #: (repro.dso.cache).  Off by default: the paper's model ships
+        #: every read, and Table 2 is calibrated against that.
+        self.read_cache = read_cache
+        #: One ObjectCache per execution site (client process or FaaS
+        #: container endpoint); dropped when the container is
+        #: reclaimed, so cache lifetime == container lifetime.
+        self._caches: dict[str, ObjectCache] = {}
         self.membership = MembershipService(
             kernel, failure_detection_delay=config.dso.failure_detection)
         self.nodes: dict[str, DsoNode] = {}
@@ -285,6 +314,135 @@ class DsoLayer:
         return self._retry_policy.delay(attempt, rng)
 
     # ------------------------------------------------------------------
+    # Lease-based read caching (repro.dso.cache)
+    # ------------------------------------------------------------------
+
+    def enable_read_cache(self) -> None:
+        """Turn on leased client-side caching of read-only methods."""
+        self.read_cache = True
+
+    def drop_endpoint_cache(self, endpoint: str) -> None:
+        """Discard ``endpoint``'s object cache (container reclaimed).
+
+        Wired to :meth:`repro.faas.platform.FaasPlatform.\
+on_container_reclaim` so cache lifetime equals container lifetime:
+        a keep-alive expiry or chaos kill forgets the working set, a
+        warm container keeps it.  Leases the endpoint still holds at
+        primaries expire by TTL (or are revoked by the next write).
+        """
+        self._caches.pop(endpoint, None)
+
+    def cache_of(self, endpoint: str) -> ObjectCache | None:
+        """The endpoint's object cache, if it has one (introspection)."""
+        return self._caches.get(endpoint)
+
+    def _cacheable(self, ctor: tuple | None, method: str) -> bool:
+        """Whether this invocation may use the leased read cache.
+
+        Classified from the constructor recipe's class — available
+        client-side and independent of cache state, so the decision
+        (and hence session-stamp assignment for the remaining calls)
+        is deterministic across runs and named-session replays.
+        """
+        return (self.read_cache and ctor is not None
+                and method != "__dso_touch__"
+                and is_readonly(ctor[0], method))
+
+    def _cached_read(self, client: str, ref: DsoReference, method: str,
+                     args: tuple, kwargs: dict, cost: float) -> Any:
+        """Serve a read-only invocation locally, or ``_CACHE_MISS``.
+
+        A hit requires an unexpired lease whose placement version
+        still matches — failover, rebalance, and restore all bump the
+        version, which is how a promoted backup conservatively
+        revokes every lease its dead predecessor granted.
+        """
+        cache = self._caches.get(client)
+        entry = cache.get(ref.ident) if cache is not None else None
+        placement = self._placements.get(ref.ident)
+        if (entry is None or placement is None or placement.lost
+                or entry.version != placement.version
+                or entry.expiry <= self.kernel.now):
+            if entry is not None:
+                cache.invalidate(ref.ident)
+            self.stats.cache_misses += 1
+            return _CACHE_MISS
+        with self.kernel.tracer.span(
+                "dso.cache_hit", kind="client", endpoint=client,
+                attributes={"key": ref.key, "method": method}):
+            overhead = self.config.dso.cache_hit_overhead
+            if overhead + cost > 0:
+                current_thread().sleep(overhead + cost)
+            bound = getattr(entry.snapshot, method, None)
+            if bound is None or not callable(bound):
+                raise AttributeError(
+                    f"{type(entry.snapshot).__name__} has no method "
+                    f"{method!r}")
+            result = bound(*args, **kwargs)
+        self.stats.cache_hits += 1
+        # Copy out: the caller must never mutate the cached snapshot
+        # through an aliased result (same wire discipline as ship()).
+        return ship(result) if self.copy_instances else result
+
+    def _grant_lease(self, container: ObjectContainer, client: str,
+                     version: int) -> LeaseGrant:
+        """Primary side: record a lease and build the reply grant."""
+        expiry = self.kernel.now + self.config.dso.lease_ttl
+        container.leases.grant(client, expiry)
+        self.stats.leases_granted += 1
+        return LeaseGrant(snapshot=container.instance, expiry=expiry,
+                          version=version)
+
+    def _store_cache(self, client: str, ref: DsoReference,
+                     grant: LeaseGrant) -> None:
+        cache = self._caches.get(client)
+        if cache is None:
+            cache = self._caches[client] = ObjectCache(
+                limit=self.config.dso.cache_max_objects)
+        cache.put(ref.ident, CacheEntry(snapshot=grant.snapshot,
+                                        expiry=grant.expiry,
+                                        version=grant.version))
+
+    def _revoke_leases(self, container: ObjectContainer,
+                       primary_name: str) -> None:
+        """Invalidate every outstanding lease before a write acks.
+
+        Each holder is sent an invalidation message (charged to the
+        writer, like any transfer); a holder the primary cannot reach
+        is waited out to its lease expiry instead — after which its
+        cache entry is stale by time.  Runs under the object lock, so
+        no new lease can be granted concurrently.
+        """
+        holders = container.leases.active(self.kernel.now)
+        container.leases.clear()
+        if not holders:
+            return
+        with self.kernel.tracer.span(
+                "dso.lease_revoke", kind="server", endpoint=primary_name,
+                attributes={"object": "/".join(container.key),
+                            "holders": len(holders)}):
+            for holder, expiry in holders:
+                try:
+                    self.network.transfer(primary_name, holder,
+                                          ("dso.lease_revoke",
+                                           container.key))
+                except NetworkError:
+                    remaining = expiry - self.kernel.now
+                    if remaining > 0:
+                        current_thread().sleep(remaining)
+                cache = self._caches.get(holder)
+                if cache is not None:
+                    cache.invalidate(container.key)
+                self.stats.lease_revocations += 1
+
+    def _invalidate_all_caches(self, ident: tuple[str, str]) -> None:
+        """Purge ``ident`` everywhere (delete/restore control plane:
+        those reset the placement version, so version matching alone
+        cannot be trusted to fence pre-existing entries)."""
+        for cache in self._caches.values():
+            cache.invalidate(ident)
+
+    # ------------------------------------------------------------------
     # Client operations
     # ------------------------------------------------------------------
 
@@ -303,16 +461,31 @@ class DsoLayer:
         """
         kwargs = kwargs or {}
         tracer = self.kernel.tracer
-        session = self._session_for(client)
-        # Stamp once, outside the retry loop: every retransmission of
-        # this logical call carries the identical (sid, seq), which is
-        # what lets servers recognise and deduplicate it.
-        stamp = session.stamp()
+        cacheable = self._cacheable(ctor, method)
+        if cacheable:
+            hit = self._cached_read(client, ref, method, args, kwargs,
+                                    cost)
+            if hit is not _CACHE_MISS:
+                return hit
+        if cacheable:
+            # Read-only invocations are idempotent and never shipped
+            # under a session stamp (re-execution on retry is
+            # harmless); skipping the stamp keeps sequence numbers —
+            # and named-session replays — independent of cache state.
+            session = None
+            stamp = None
+            attributes = {"key": ref.key, "rf": ref.rf, "readonly": True}
+        else:
+            session = self._session_for(client)
+            # Stamp once, outside the retry loop: every retransmission
+            # of this logical call carries the identical (sid, seq),
+            # which is what lets servers recognise and deduplicate it.
+            stamp = session.stamp()
+            attributes = {"key": ref.key, "rf": ref.rf,
+                          "session": stamp.sid, "seq": stamp.seq}
         with tracer.span(f"dso.invoke:{ref.type_name}.{method}",
                          kind="client", endpoint=client,
-                         attributes={"key": ref.key, "rf": ref.rf,
-                                     "session": stamp.sid,
-                                     "seq": stamp.seq}) as span:
+                         attributes=attributes) as span:
             deadline = self.kernel.now + self._retry_deadline_pad()
             attempts = 0
             while True:
@@ -320,10 +493,12 @@ class DsoLayer:
                 try:
                     result = self._invoke_once(client, ref, method, args,
                                                kwargs, ctor, cost,
-                                               raw_service, stamp)
+                                               raw_service, stamp,
+                                               lease=cacheable)
                     if attempts > 1:
                         span.set("retries", attempts - 1)
-                    session.acknowledge(stamp.seq)
+                    if session is not None:
+                        session.acknowledge(stamp.seq)
                     return result
                 except (_StaleContainer, NetworkError,
                         NodeCrashedError) as exc:
@@ -366,17 +541,27 @@ class DsoLayer:
         round trips, but still charges per-object service time, so
         node capacity — the quantity the experiment stresses — is
         modelled faithfully.  No cross-object atomicity is implied.
+
+        A transient failure retries only the *unfinished* per-node
+        groups: objects whose group already completed keep their
+        results and are not re-read, so node service time is charged
+        once per completed group rather than once per attempt.
         """
         with self.kernel.tracer.span(
                 "dso.read_bulk", kind="client", endpoint=client,
                 attributes={"objects": len(refs)}):
             deadline = self.kernel.now + self._retry_deadline_pad()
             attempts = 0
+            results: list[Any] = [None] * len(refs)
+            pending = set(range(len(refs)))
             while True:
                 attempts += 1
                 try:
-                    return self._read_bulk_once(client, refs, method,
-                                                per_read_cost)
+                    self._read_bulk_attempt(client, refs, method,
+                                            per_read_cost, results,
+                                            pending)
+                    self.stats.invocations += len(refs)
+                    return ship(results) if self.copy_instances else results
                 except (_StaleContainer, NetworkError, NodeCrashedError):
                     self.stats.retries += 1
                     if self.kernel.now >= deadline:
@@ -393,7 +578,32 @@ class DsoLayer:
         ordering round.  It can return stale state while a write is in
         flight, but halves the latency of replicated reads and spreads
         load across replicas.
+
+        Transient infrastructure failures (replica crashed or lost the
+        container to a rebalance mid-read) are retried against a fresh
+        replica choice under the same deadline/backoff policy as
+        :meth:`invoke` — internal routing errors never escape to the
+        caller.
         """
+        deadline = self.kernel.now + self._retry_deadline_pad()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._read_any_once(client, ref, method, args, cost)
+            except (_StaleContainer, NetworkError, NodeCrashedError) as exc:
+                self.stats.retries += 1
+                placement = self._placements.get(ref.ident)
+                if placement is not None and placement.lost:
+                    raise ObjectLostError(
+                        f"{ref} was lost in a storage-node failure"
+                    ) from exc
+                if self.kernel.now >= deadline:
+                    raise
+                current_thread().sleep(self._retry_delay(attempts - 1))
+
+    def _read_any_once(self, client: str, ref: DsoReference, method: str,
+                       args: tuple, cost: float) -> Any:
         placement = self._lookup(ref, None)
         rng = self.kernel.rng.stream(f"dso.{self.name}.anyread")
         replicas = placement.replicas
@@ -467,6 +677,9 @@ class DsoLayer:
             raise ServiceUnavailableError(f"{self.name}: no live replica")
         restored = Placement(ref=ref, replicas=list(replicas))
         self._placements[ref.ident] = restored
+        # The restored placement starts over at version 0, so version
+        # matching cannot fence leases cut before the object was lost.
+        self._invalidate_all_caches(ref.ident)
         for name in replicas:
             copy = ship(instance) if self.copy_instances else instance
             # Dedup state survives passivation too: a client whose
@@ -489,6 +702,9 @@ class DsoLayer:
         placement = self._placements.pop(ref.ident, None)
         if placement is None:
             raise NoSuchObjectError(f"{ref} does not exist")
+        # A later re-creation restarts the placement version at 0, so
+        # leased snapshots of the deleted incarnation must go now.
+        self._invalidate_all_caches(ref.ident)
         for name in placement.replicas:
             node = self.nodes.get(name)
             if node is not None and node.alive:
@@ -502,7 +718,8 @@ class DsoLayer:
     def _invoke_once(self, client: str, ref: DsoReference, method: str,
                      args: tuple, kwargs: dict, ctor: tuple | None,
                      cost: float, raw_service: float | None,
-                     stamp: SessionStamp | None = None) -> Any:
+                     stamp: SessionStamp | None = None,
+                     lease: bool = False) -> Any:
         placement = self._lookup(ref, ctor)
         primary_name = placement.replicas[0]
         node = self._live_node(primary_name)
@@ -516,6 +733,7 @@ class DsoLayer:
             raise _StaleContainer(f"{ref} not hosted on {primary_name}")
         call = DsoCall(container)
         released = False
+        grant: LeaseGrant | None = None
         with self.kernel.tracer.span(
                 "dso.primary", kind="server", endpoint=primary_name,
                 attributes={"method": method}):
@@ -552,6 +770,22 @@ class DsoLayer:
                         entry = container.sessions.record(
                             stamp, self._shippable(result),
                             committed=not replicated)
+                    if self.read_cache:
+                        if not is_readonly(type(container.instance),
+                                           method):
+                            # Coherence: no cached read may be served
+                            # after this write acks.  Runs after the
+                            # session record, so a crash mid-revocation
+                            # still dedups the client's retry.
+                            self._revoke_leases(container, primary_name)
+                            if not node.alive or container.dead:
+                                raise NodeCrashedError(
+                                    f"{primary_name} crashed revoking "
+                                    f"leases for {ref}.{method}")
+                        elif lease and not isinstance(
+                                container.instance, ServerObject):
+                            grant = self._grant_lease(container, client,
+                                                      version)
                     if replicated:
                         # Free the primary worker before queueing for
                         # backup workers (keeps saturated replicating
@@ -568,6 +802,14 @@ class DsoLayer:
                     call.release()
                 released = True
         assert released
+        if grant is not None:
+            # The snapshot crosses the wire with the reply, so its
+            # bytes are charged; the shipped copy never aliases the
+            # primary's live instance.
+            result, grant = self.network.transfer(
+                primary_name, client, (result, grant))
+            self._store_cache(client, ref, grant)
+            return result
         return self.network.transfer(primary_name, client, result)
 
     def _shippable(self, value: Any) -> Any:
@@ -681,13 +923,22 @@ class DsoLayer:
                         backup.node.workers.release()
             current_thread().sleep(hop.sample(rng))  # commit round back
 
-    def _read_bulk_once(self, client: str, refs: Sequence[DsoReference],
-                        method: str, per_read_cost: float) -> list[Any]:
-        placements = [self._lookup(ref, None) for ref in refs]
+    def _read_bulk_attempt(self, client: str,
+                           refs: Sequence[DsoReference], method: str,
+                           per_read_cost: float, results: list[Any],
+                           pending: set[int]) -> None:
+        """One pass over the *unfinished* groups of a bulk read.
+
+        Fills ``results`` in place and discards each group's indexes
+        from ``pending`` as soon as that group's reply lands, so a
+        failure in a later group leaves earlier groups finished — the
+        retry re-reads only what actually failed, instead of
+        re-charging every node for the whole batch.
+        """
         groups: dict[str, list[int]] = {}
-        for index, placement in enumerate(placements):
+        for index in sorted(pending):
+            placement = self._lookup(refs[index], None)
             groups.setdefault(placement.replicas[0], []).append(index)
-        results: list[Any] = [None] * len(refs)
         service_each = (self.config.dso.method_call_overhead
                         + per_read_cost)
         for primary_name, indexes in sorted(groups.items()):
@@ -709,8 +960,7 @@ class DsoLayer:
             finally:
                 node.node.workers.release()
             self.network.transfer(primary_name, client, len(indexes))
-        self.stats.invocations += len(refs)
-        return ship(results) if self.copy_instances else results
+            pending.difference_update(indexes)
 
     # ------------------------------------------------------------------
     # Placement
@@ -850,9 +1100,12 @@ class DsoLayer:
                         self.nodes[name].evict(ident)
                 self.stats.rebalanced_objects += 1
             finally:
-                if not container.lock.locked:
-                    pass
-                else:
+                # Guarded, not unconditional: if the source node died
+                # mid-transfer its crash handler may have released the
+                # parked waiters (and this thread with them), in which
+                # case we no longer own the lock and releasing it would
+                # raise from a cleanup path.
+                if container.lock.held():
                     container.lock.release()
 
     def _primary_instance(self, placement: Placement) -> Any:

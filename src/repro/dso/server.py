@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cluster.node import Node
+from repro.dso.cache import LeaseTable
 from repro.dso.session import SessionTable
 from repro.errors import NodeCrashedError
 from repro.net.network import Network
@@ -123,6 +124,11 @@ class ObjectContainer:
         self.applied_ops = 0
         self.sessions = sessions if sessions is not None \
             else SessionTable(limit=session_limit)
+        #: Outstanding client read leases (primary side; deliberately
+        #: not replicated — see repro.dso.cache).  Fresh on every
+        #: host(), so a promoted or rebalanced replica starts with no
+        #: leases and the placement-version bump voids the old ones.
+        self.leases = LeaseTable()
         self._conditions: list[ServerCondition] = []
 
     def condition(self) -> ServerCondition:
@@ -130,6 +136,7 @@ class ObjectContainer:
 
     def mark_dead(self) -> None:
         self.dead = True
+        self.leases.clear()
         for condition in self._conditions:
             condition.notify_all()
 

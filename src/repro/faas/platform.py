@@ -138,6 +138,22 @@ class FaasPlatform:
         self._container_ids = itertools.count()
         self._active = 0
         self.records: list[InvocationRecord] = []
+        self._reclaim_hooks: list[Callable[[str], None]] = []
+
+    def on_container_reclaim(self, hook: Callable[[str], None]) -> None:
+        """Call ``hook(container_name)`` whenever a container leaves
+        the warm pool (keep-alive expiry or a chaos kill).
+
+        Per-container state elsewhere in the system — notably the DSO
+        layer's leased read caches — subscribes here so its lifetime
+        equals the container's: a warm container keeps its working
+        set, a reclaimed one is forgotten everywhere.
+        """
+        self._reclaim_hooks.append(hook)
+
+    def _reclaimed(self, container: _Container) -> None:
+        for hook in self._reclaim_hooks:
+            hook(container.name)
 
     # -- management ---------------------------------------------------------------
 
@@ -344,10 +360,15 @@ class FaasPlatform:
     def _acquire_container(self, function: _Function) -> tuple[_Container, bool]:
         keep_alive = self.config.faas_timings.keep_alive
         now = self.kernel.now
-        # Expire stale containers lazily.
-        function.containers = [
-            c for c in function.containers
-            if c.in_use or now - c.last_used <= keep_alive]
+        # Expire stale containers lazily, notifying reclaim subscribers
+        # for each one that leaves the pool.
+        kept: list[_Container] = []
+        for c in function.containers:
+            if c.in_use or now - c.last_used <= keep_alive:
+                kept.append(c)
+            else:
+                self._reclaimed(c)
+        function.containers = kept
         for container in function.containers:
             if not container.in_use:
                 container.in_use = True
@@ -386,6 +407,7 @@ class FaasPlatform:
                 if container.name == container_name:
                     container.dead = True
                     function.containers.remove(container)
+                    self._reclaimed(container)
                     return True
         return False
 

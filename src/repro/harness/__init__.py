@@ -12,6 +12,7 @@ objects, and measured windows shrink together).
 
 from repro.harness import (  # noqa: F401  (re-exported for discoverability)
     ablation_shipping,
+    cache_readpath,
     fig2a_throughput,
     fig2b_montecarlo,
     fig3_scaleup,
@@ -29,6 +30,7 @@ from repro.harness import (  # noqa: F401  (re-exported for discoverability)
 
 __all__ = [
     "ablation_shipping",
+    "cache_readpath",
     "table2_latency",
     "fig2a_throughput",
     "fig2b_montecarlo",

@@ -1,0 +1,100 @@
+"""Warm-read latency with the lease-based client cache on vs off.
+
+Not a figure from the paper: Crucial always ships method calls to the
+primary, so a repeated ``get`` pays the full network round trip every
+time (Table 2's GET row).  The lease cache trades that for one grant
+round trip followed by local reads, so this harness measures three
+latencies on the same 1 KB payload:
+
+* ``uncached_get`` — the Table 2 baseline (``read_cache=False``),
+* ``cached_get``   — warm reads served from the client cache,
+* ``cached_put``   — the write path with the cache enabled, which must
+  stay on the Table 2 calibration (revocation is charged only when a
+  lease is actually outstanding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import CrucialEnvironment
+from repro.harness.table2_latency import PAPER, PAYLOAD
+from repro.metrics.report import cache_summary, comparison_table
+
+
+@dataclass
+class CacheReadpathResult:
+    uncached_get: float  #: avg seconds, read_cache=False (Table 2 path)
+    cached_get: float  #: avg seconds, warm lease-cache reads
+    cached_put: float  #: avg seconds, writes with the cache enabled
+    hits: int
+    misses: int
+    granted: int
+    revocations: int
+    ops: int
+
+    @property
+    def speedup(self) -> float:
+        """Warm-read improvement over the always-ship baseline."""
+        return self.uncached_get / self.cached_get
+
+
+def _timed(env: CrucialEnvironment, fn, ops: int) -> float:
+    start = env.now
+    for _ in range(ops):
+        fn()
+    return (env.now - start) / ops
+
+
+def run(ops: int = 300, seed: int = 1) -> CacheReadpathResult:
+    with CrucialEnvironment(seed=seed, dso_nodes=2) as env:
+        def baseline():
+            client = env.client_endpoint
+            env.dso.put(client, "rp", PAYLOAD)
+            return _timed(env, lambda: env.dso.get(client, "rp"), ops)
+
+        uncached_get = env.run(baseline)
+
+    with CrucialEnvironment(seed=seed, dso_nodes=2,
+                            read_cache=True) as env:
+        def cached():
+            client = env.client_endpoint
+            env.dso.put(client, "rp", PAYLOAD)
+            env.dso.get(client, "rp")  # grant the lease (cold miss)
+            cached_get = _timed(
+                env, lambda: env.dso.get(client, "rp"), ops)
+            cached_put = _timed(
+                env, lambda: env.dso.put(client, "rp", PAYLOAD), ops)
+            return cached_get, cached_put
+
+        cached_get, cached_put = env.run(cached)
+        stats = env.dso.stats
+
+    return CacheReadpathResult(
+        uncached_get=uncached_get, cached_get=cached_get,
+        cached_put=cached_put, hits=stats.cache_hits,
+        misses=stats.cache_misses, granted=stats.leases_granted,
+        revocations=stats.lease_revocations, ops=ops)
+
+
+def report(result: CacheReadpathResult) -> str:
+    paper_put, paper_get = PAPER["crucial"]
+    table = comparison_table(
+        f"Warm 1KB read path, {result.ops} sequential ops"
+        f" (speedup {result.speedup:.0f}x)",
+        [
+            ("GET uncached (Table 2)", paper_get * 1e6,
+             result.uncached_get * 1e6),
+            ("GET warm cached", paper_get * 1e6,
+             result.cached_get * 1e6),
+            ("PUT with cache on", paper_put * 1e6,
+             result.cached_put * 1e6),
+        ], unit="us")
+
+    class _Stats:
+        cache_hits = result.hits
+        cache_misses = result.misses
+        leases_granted = result.granted
+        lease_revocations = result.revocations
+
+    return table + "\n" + cache_summary(_Stats())

@@ -2,7 +2,12 @@
 
 from repro.metrics.recorder import ThroughputTracker, TimeSeries, percentile
 from repro.metrics.cost import CostModel, ExperimentCost
-from repro.metrics.report import comparison_table, fault_summary, render_table
+from repro.metrics.report import (
+    cache_summary,
+    comparison_table,
+    fault_summary,
+    render_table,
+)
 
 __all__ = [
     "TimeSeries",
@@ -13,4 +18,5 @@ __all__ = [
     "render_table",
     "comparison_table",
     "fault_summary",
+    "cache_summary",
 ]

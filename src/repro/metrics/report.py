@@ -67,6 +67,26 @@ def fault_summary(log, retries: dict[str, int] | None = None,
                         rows, title=title)
 
 
+def cache_summary(stats, title: str = "dso read cache") -> str:
+    """Render the DSO layer's lease-cache counters.
+
+    ``stats`` is a :class:`repro.dso.layer.LayerStats`; the table shows
+    the hit rate next to the coherence traffic it cost (leases granted
+    by read replies, revocations forced by writes), so benchmarks can
+    report read-path cache behaviour in one block.
+    """
+    lookups = stats.cache_hits + stats.cache_misses
+    rate = stats.cache_hits / lookups if lookups else 0.0
+    rows = [
+        ("cache hits", stats.cache_hits),
+        ("cache misses", stats.cache_misses),
+        ("hit rate", f"{rate:.1%}"),
+        ("leases granted", stats.leases_granted),
+        ("lease revocations", stats.lease_revocations),
+    ]
+    return render_table(["counter", "value"], rows, title=title)
+
+
 def trace_summary(tracer, max_depth: int = 6,
                   min_duration: float = 0.0,
                   title: str = "trace summary") -> str:

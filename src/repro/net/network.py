@@ -32,11 +32,19 @@ def ship(value: Any) -> Any:
 
 
 def payload_size(value: Any) -> int:
-    """Wire size of a value, in bytes (its pickle length)."""
+    """Wire size of a value, in bytes (its pickle length).
+
+    Raises :class:`SerializationError` for unpicklable values, like
+    :func:`ship` does.  It used to return 0 instead, which silently
+    under-charged transfer latency for exactly the payloads that could
+    never have crossed a real wire — callers sized the transfer as
+    free and then (with ``copy_messages`` on) failed later in
+    :func:`ship`, or (with it off) not at all.
+    """
     try:
         return len(pickle.dumps(value))
-    except Exception:
-        return 0
+    except Exception as exc:  # pickle raises a zoo of types
+        raise SerializationError(f"value is not serializable: {exc!r}") from exc
 
 
 class Endpoint:

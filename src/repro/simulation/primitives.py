@@ -71,6 +71,16 @@ class Lock:
     def locked(self) -> bool:
         return self._owner is not None
 
+    def held(self) -> bool:
+        """Whether the *calling* thread currently owns this lock.
+
+        Unlike :attr:`locked` (owned by anyone), this is safe to guard
+        a cleanup-path ``release()``: after a crash handler re-created
+        the lock's object, ``locked`` may be true because some *other*
+        thread owns the successor — releasing then would blow up.
+        """
+        return self._owner is current_thread()
+
     def acquire(self, timeout: float | None = None) -> bool:
         thread = current_thread()
         if self._owner is None:

@@ -1,0 +1,302 @@
+"""Lease-based read caching: hits, coherence, TTL, LRU, lifetimes.
+
+Covers the protocol of :mod:`repro.dso.cache` end to end at the layer
+level — cache hits skip the network, writes revoke leases before they
+are acknowledged, leases expire by TTL and die with placement-version
+bumps — plus the FaaS wiring (cache lifetime == container lifetime).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import AtomicLong, CloudThread, CrucialEnvironment
+from repro.config import DEFAULT_CONFIG
+from repro.dso import DsoLayer
+from repro.dso.cache import LeaseTable, ObjectCache, is_readonly, readonly
+from repro.dso.layer import KvSlot
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep
+
+
+def config_with(**dso_overrides):
+    return dataclasses.replace(
+        DEFAULT_CONFIG,
+        dso=dataclasses.replace(DEFAULT_CONFIG.dso, **dso_overrides))
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=101) as k:
+        yield k
+
+
+@pytest.fixture
+def network(kernel):
+    net = Network(kernel, LatencyModel(0.0001))
+    net.ensure_endpoint("client")
+    return net
+
+
+def make_layer(kernel, network, nodes, config=DEFAULT_CONFIG,
+               read_cache=True):
+    layer = DsoLayer(kernel, network, config, read_cache=read_cache)
+    for _ in range(nodes):
+        layer.add_node()
+    return layer
+
+
+# ---------------------------------------------------------------------------
+# Marker and data-structure units
+# ---------------------------------------------------------------------------
+
+
+def test_readonly_marker_classification():
+    assert is_readonly(KvSlot, "get")
+    assert not is_readonly(KvSlot, "set")
+    assert is_readonly(KvSlot, "__dso_touch__")  # creation ping
+    assert not is_readonly(KvSlot, "no_such_method")
+
+    class Custom:
+        @readonly
+        def peek(self):
+            return 1
+
+        def poke(self):
+            return 2
+
+    assert is_readonly(Custom, "peek")
+    assert not is_readonly(Custom, "poke")
+
+
+def test_lease_table_tracks_active_holders():
+    table = LeaseTable()
+    table.grant("a", expiry=5.0)
+    table.grant("b", expiry=2.0)
+    table.grant("a", expiry=3.0)  # never shortens an existing lease
+    assert dict(table.active(1.0)) == {"a": 5.0, "b": 2.0}
+    assert dict(table.active(4.0)) == {"a": 5.0}
+    table.clear()
+    assert len(table) == 0
+
+
+def test_object_cache_evicts_lru():
+    from repro.dso.cache import CacheEntry
+
+    cache = ObjectCache(limit=2)
+    entry = CacheEntry(snapshot=None, expiry=1.0, version=0)
+    cache.put(("T", "a"), entry)
+    cache.put(("T", "b"), entry)
+    cache.get(("T", "a"))  # refresh recency: "b" is now coldest
+    cache.put(("T", "c"), entry)
+    assert set(cache.idents()) == {("T", "a"), ("T", "c")}
+
+
+# ---------------------------------------------------------------------------
+# Layer-level protocol
+# ---------------------------------------------------------------------------
+
+
+def test_warm_read_served_from_cache(kernel, network):
+    layer = make_layer(kernel, network, nodes=1)
+
+    def main():
+        layer.put("client", "k", "v")
+        layer.get("client", "k")  # miss: ships, returns with a lease
+        before_msgs = network.messages_sent
+        start = kernel.now
+        value = layer.get("client", "k")  # hit: local
+        return value, kernel.now - start, network.messages_sent - before_msgs
+
+    value, elapsed, messages = kernel.run_main(main)
+    assert value == "v"
+    assert messages == 0  # the hit never touched the network
+    assert elapsed == pytest.approx(DEFAULT_CONFIG.dso.cache_hit_overhead)
+    assert layer.stats.cache_hits == 1
+    assert layer.stats.cache_misses == 1
+    assert layer.stats.leases_granted >= 1
+
+
+def test_cache_disabled_by_default(kernel, network):
+    layer = make_layer(kernel, network, nodes=1, read_cache=False)
+
+    def main():
+        layer.put("client", "k", "v")
+        layer.get("client", "k")
+        layer.get("client", "k")
+
+    kernel.run_main(main)
+    assert layer.stats.cache_hits == 0
+    assert layer.stats.cache_misses == 0
+    assert layer.stats.leases_granted == 0
+    assert layer.cache_of("client") is None
+
+
+def test_write_revokes_lease_before_acknowledging(kernel, network):
+    layer = make_layer(kernel, network, nodes=1)
+    network.ensure_endpoint("writer")
+
+    def main():
+        layer.put("client", "k", "v0")
+        layer.get("client", "k")  # client now holds a lease
+        layer.put("writer", "k", "v1")  # must revoke before acking
+        return layer.get("client", "k")
+
+    assert kernel.run_main(main) == "v1"  # never the stale snapshot
+    assert layer.stats.lease_revocations == 1
+    # The post-write read had to ship again (its entry was invalidated).
+    assert layer.stats.cache_misses == 2
+
+
+def test_lease_expires_by_ttl(kernel, network):
+    config = config_with(lease_ttl=1.0)
+    layer = make_layer(kernel, network, nodes=1, config=config)
+
+    def main():
+        layer.put("client", "k", "v")
+        layer.get("client", "k")
+        sleep(1.5)  # past the lease window
+        layer.get("client", "k")
+
+    kernel.run_main(main)
+    assert layer.stats.cache_hits == 0
+    assert layer.stats.cache_misses == 2
+
+
+def test_unreachable_holder_is_waited_out(kernel, network):
+    """A writer that cannot deliver an invalidation waits out the
+    holder's lease TTL before acknowledging — no cached read can be
+    served after the ack even though the revoke message was lost."""
+    config = config_with(lease_ttl=2.0)
+    layer = make_layer(kernel, network, nodes=1, config=config)
+    network.ensure_endpoint("writer")
+    (node_name,) = layer.nodes
+
+    def main():
+        layer.put("client", "k", "v0")
+        layer.get("client", "k")  # lease granted to "client"
+        granted_at = kernel.now
+        network.partition({node_name}, {"client"})
+        start = kernel.now
+        layer.put("writer", "k", "v1")
+        write_latency = kernel.now - start
+        network.heal()
+        return granted_at, write_latency
+
+    granted_at, write_latency = kernel.run_main(main)
+    # The write stalled until the lease self-expired.
+    assert granted_at + write_latency >= granted_at + 1.9
+    assert layer.stats.lease_revocations == 1
+
+
+def test_lru_eviction_respects_configured_limit(kernel, network):
+    config = config_with(cache_max_objects=2)
+    layer = make_layer(kernel, network, nodes=1, config=config)
+
+    def main():
+        for key in ("a", "b", "c"):
+            layer.put("client", key, key)
+            layer.get("client", key)
+
+    kernel.run_main(main)
+    cache = layer.cache_of("client")
+    assert len(cache) == 2
+    assert ("KvSlot", "a") not in cache.idents()
+
+
+def test_failover_invalidates_leases_via_version(kernel, network):
+    """A promoted backup cannot know its predecessor's leases; the
+    placement-version bump invalidates them conservatively, so a read
+    under a still-unexpired lease re-fetches instead of serving the
+    pre-crash snapshot."""
+    config = config_with(lease_ttl=120.0)  # far beyond detection time
+    layer = make_layer(kernel, network, nodes=3, config=config)
+    network.ensure_endpoint("writer")
+
+    def main():
+        layer.put("client", "k", "v0", rf=2)
+        layer.get("client", "k", rf=2)  # lease at the old primary
+        primary = layer.placement_of(layer._kv_ref("k", 2))[0]
+        layer.crash_node(primary)
+        sleep(DEFAULT_CONFIG.dso.failure_detection + 1.0)
+        # The new primary acknowledges a write knowing nothing of the
+        # old lease — correct only because the version bump fenced it.
+        layer.put("writer", "k", "v1", rf=2)
+        return layer.get("client", "k", rf=2)
+
+    assert kernel.run_main(main) == "v1"
+    assert layer.stats.cache_hits == 0  # the stale entry never served
+
+
+def test_delete_purges_cached_snapshots(kernel, network):
+    config = config_with(lease_ttl=120.0)
+    layer = make_layer(kernel, network, nodes=1, config=config)
+
+    def main():
+        layer.put("client", "k", "old")
+        layer.get("client", "k")
+        layer.delete("client", layer._kv_ref("k", 1))
+        layer.put("client", "k", "new")  # re-created at version 0 again
+        return layer.get("client", "k")
+
+    assert kernel.run_main(main) == "new"
+    assert layer.stats.cache_hits == 0
+
+
+def test_drop_endpoint_cache_forgets_working_set(kernel, network):
+    layer = make_layer(kernel, network, nodes=1)
+
+    def main():
+        layer.put("client", "k", "v")
+        layer.get("client", "k")
+        assert layer.cache_of("client") is not None
+        layer.drop_endpoint_cache("client")
+        assert layer.cache_of("client") is None
+        layer.get("client", "k")  # must ship again
+
+    kernel.run_main(main)
+    assert layer.stats.cache_hits == 0
+    assert layer.stats.cache_misses == 2
+
+
+# ---------------------------------------------------------------------------
+# FaaS wiring: cache lifetime == container lifetime
+# ---------------------------------------------------------------------------
+
+
+class _ReadTwice:
+    def __init__(self):
+        self.counter = AtomicLong("hot")
+
+    def run(self):
+        self.counter.get()
+        return self.counter.get()
+
+
+def test_container_cache_survives_warm_reuse_and_dies_on_kill():
+    with CrucialEnvironment(seed=3, dso_nodes=1, read_cache=True) as env:
+        def main():
+            AtomicLong("hot").get()  # create (and lease to the client)
+            first = CloudThread(_ReadTwice())
+            first.start()
+            first.join()
+            hits_after_first = env.dso.stats.cache_hits
+            second = CloudThread(_ReadTwice())
+            second.start()
+            second.join()
+            return hits_after_first
+
+        hits_after_first = env.run(main)
+        container = env.platform.records[-1].container
+        # Both invocations reused one warm container, so the second
+        # body's reads all hit the cache the first body populated.
+        assert env.platform.records[-2].container == container
+        assert hits_after_first >= 1
+        assert env.dso.stats.cache_hits >= hits_after_first + 2
+        cache = env.dso.cache_of(container)
+        assert cache is not None and len(cache) == 1
+        # Chaos (or keep-alive expiry) reclaims the container: the
+        # platform hook drops its cache with it.
+        assert env.platform.kill_container(container)
+        assert env.dso.cache_of(container) is None

@@ -1,9 +1,12 @@
 """Unit tests for the network substrate."""
 
+import pickle
+
 import pytest
 
 from repro.errors import NetworkError, SerializationError
 from repro.net import LatencyModel, Network
+from repro.net.network import payload_size
 from repro.simulation import Kernel
 from repro.simulation.thread import now
 
@@ -68,6 +71,20 @@ def test_crash_mid_flight_fails_transfer(kernel, network):
 
     with pytest.raises(NetworkError):
         kernel.run_main(main)
+
+
+def test_payload_size_is_pickle_length():
+    value = {"nested": [1, 2, 3], "blob": b"x" * 100}
+    assert payload_size(value) == len(pickle.dumps(value))
+
+
+def test_payload_size_rejects_unserializable():
+    """Regression: ``payload_size`` used to return 0 for unpicklable
+    values, silently sizing the transfer as free for exactly the
+    payloads that could never cross a real wire.  It now raises like
+    :func:`ship` does."""
+    with pytest.raises(SerializationError):
+        payload_size(lambda: None)
 
 
 def test_partition_blocks_both_directions(kernel, network):

@@ -109,6 +109,32 @@ def test_lock_mutual_exclusion(kernel):
     assert max(max_active) == 1
 
 
+def test_lock_held_is_per_thread(kernel):
+    """``held()`` answers "does *this thread* own it", unlike
+    ``locked`` ("does anyone") — the distinction cleanup paths need
+    before a guarded ``release()``."""
+    lock = Lock(kernel)
+    observed = []
+
+    def owner():
+        with lock:
+            assert lock.held()
+            sleep(1.0)
+
+    def bystander():
+        sleep(0.5)  # while the owner holds it
+        observed.append((lock.locked, lock.held()))
+
+    def main():
+        threads = [spawn(owner), spawn(bystander)]
+        for t in threads:
+            t.join()
+        return lock.locked, lock.held()
+
+    assert kernel.run_main(main) == (False, False)
+    assert observed == [(True, False)]
+
+
 def test_lock_fifo_order(kernel):
     lock = Lock(kernel)
     order = []

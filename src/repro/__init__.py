@@ -31,7 +31,9 @@ Quickstart::
 
 **This module is the public API.**  Everything in Table 1 of the paper
 — plus the observability entry points (``Tracer``, ``trace_enabled``
-and the exporters in :mod:`repro.trace`) — is re-exported here, and
+and the exporters in :mod:`repro.trace`) and the correctness tooling
+(``ExplorationRunner`` and the schedulers of :mod:`repro.explore`,
+``LinearizabilityChecker``/``HistoryRecorder``) — is re-exported here, and
 only names listed in ``__all__`` are covered by compatibility
 guarantees.  The ``repro.core.*``, ``repro.simulation.*``,
 ``repro.faas.*``, ``repro.dso.*`` ... submodules are internal:
@@ -65,6 +67,19 @@ from repro.core import (
 )
 from repro.core.runtime import RUNNER_FUNCTION, compute, current_location
 from repro.dso.cache import readonly
+from repro.explore import (
+    ExplorationReport,
+    ExplorationRunner,
+    FifoScheduler,
+    PctScheduler,
+    RandomScheduler,
+    ScheduleTrace,
+)
+from repro.linearizability import (
+    HistoryRecorder,
+    LinearizabilityChecker,
+    Operation,
+)
 from repro.trace import (
     Span,
     TraceContext,
@@ -106,6 +121,15 @@ __all__ = [
     "Semaphore",
     "Future",
     "CountDownLatch",
+    "ExplorationRunner",
+    "ExplorationReport",
+    "RandomScheduler",
+    "PctScheduler",
+    "FifoScheduler",
+    "ScheduleTrace",
+    "HistoryRecorder",
+    "LinearizabilityChecker",
+    "Operation",
     "Tracer",
     "Span",
     "TraceContext",

@@ -40,6 +40,7 @@ placement version.  Off by default (the paper always ships); see
 from __future__ import annotations
 
 import itertools
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
@@ -100,6 +101,17 @@ class KvSlot:
 
 class _StaleContainer(Exception):
     """Internal: the container moved while we queued on its lock."""
+
+
+def _backup_dedup_disabled() -> bool:
+    """Mutation-test hook: ``REPRO_TEST_NO_BACKUP_DEDUP=1`` disables
+    the backup-side session lookup during replication, so a
+    re-replicated op double-applies at backups that already executed
+    it.  Exists solely to prove the exploration fuzzer detects the
+    resulting exactly-once violation (``tests/explore/
+    test_mutation_smoke.py``); never set outside tests.
+    """
+    return os.environ.get("REPRO_TEST_NO_BACKUP_DEDUP", "") == "1"
 
 
 #: Sentinel distinguishing "cache miss" from a cached ``None`` result.
@@ -897,7 +909,7 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                 bcontainer = backup.containers.get(ref.ident)
                 if bcontainer is None or bcontainer.dead:
                     continue
-                if stamp is not None:
+                if stamp is not None and not _backup_dedup_disabled():
                     # A re-replication after a dedup hit (or a rebalance
                     # that already shipped the table): this backup may
                     # have applied the op already.

@@ -175,17 +175,27 @@ class SessionTable:
     def _evict(self) -> None:
         if len(self._sessions) <= self.limit:
             return
-        # Prefer fully-acknowledged sessions (no replies retained);
-        # fall back to the coldest one.  Evicting an unacknowledged
-        # session is the standard bounded-table tradeoff: a later
-        # retransmission would re-execute.  Size the cap generously.
+        # Eviction preference, cheapest information loss first:
+        # (1) a session retaining no replies (fully acknowledged);
+        # (2) the coldest session whose retained replies are all
+        #     committed — a retransmission would re-execute the
+        #     lookup, but every replica already holds the op;
+        # (3) only as a last resort, the coldest session holding an
+        #     *uncommitted* reply, whose retransmission could
+        #     re-replicate — the standard bounded-table tradeoff.
+        # Size the cap generously.
         victim = None
+        committed_victim = None
         for sid, state in self._sessions.items():
             if not state.replies:
                 victim = sid
                 break
+            if committed_victim is None and all(
+                    entry.committed for entry in state.replies.values()):
+                committed_victim = sid
         if victim is None:
-            victim = next(iter(self._sessions))
+            victim = (committed_victim if committed_victim is not None
+                      else next(iter(self._sessions)))
         del self._sessions[victim]
 
     def merge_from(self, other: "SessionTable") -> None:

@@ -1,0 +1,48 @@
+"""repro.explore — systematic schedule exploration for the kernel.
+
+The deterministic kernel runs one interleaving per seed; this package
+makes the schedule itself an input.  Pluggable schedulers
+(:class:`RandomScheduler`, :class:`PctScheduler`, the degenerate
+:class:`FifoScheduler`) perturb same-timestamp tie-breaking and inject
+bounded delays at every kernel scheduling point, and the
+:class:`ExplorationRunner` replays a workload across many seeds,
+checking each run's recorded history for linearizability and
+user-supplied invariants — with failing schedules reported by seed,
+replayable decision-for-decision, and shrunk to a minimal failing
+prefix.  See DESIGN.md §11 and the README's "Testing & exploration"
+section.
+"""
+
+from repro.explore.runner import (
+    SCHEDULERS,
+    ExplorationReport,
+    ExplorationRunner,
+    ShrinkResult,
+    Trial,
+    TrialResult,
+)
+from repro.explore.scheduler import (
+    FifoScheduler,
+    PctScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    ScheduleDecision,
+    Scheduler,
+    ScheduleTrace,
+)
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "RandomScheduler",
+    "PctScheduler",
+    "ReplayScheduler",
+    "ScheduleDecision",
+    "ScheduleTrace",
+    "SCHEDULERS",
+    "ExplorationRunner",
+    "ExplorationReport",
+    "Trial",
+    "TrialResult",
+    "ShrinkResult",
+]

@@ -25,6 +25,12 @@ class Operation:
     result: Any
     invoke: float
     response: float
+    #: Object identity the operation acted on (``None`` = unkeyed).
+    #: Linearizability is compositional (Herlihy & Wing): the checker
+    #: partitions a history by key and checks each object's
+    #: sub-history independently, which turns an exponential joint
+    #: search into per-object searches.
+    key: str | None = None
 
     def precedes(self, other: "Operation") -> bool:
         """Real-time order: self finished before other started."""
@@ -32,8 +38,9 @@ class Operation:
 
     def __str__(self) -> str:
         arguments = ", ".join(repr(a) for a in self.args)
+        where = f" @{self.key}" if self.key is not None else ""
         return (f"[{self.invoke:.6f},{self.response:.6f}] {self.thread}: "
-                f"{self.method}({arguments}) -> {self.result!r}")
+                f"{self.method}({arguments}) -> {self.result!r}{where}")
 
 
 @dataclass
@@ -45,22 +52,29 @@ class HistoryRecorder:
     _ids: itertools.count = field(default_factory=itertools.count)
 
     def record(self, thread: str, method: str, args: tuple,
-               call: Callable[[], Any]) -> Any:
-        """Execute ``call`` and log it as an operation."""
+               call: Callable[[], Any], key: str | None = None) -> Any:
+        """Execute ``call`` and log it as an operation.
+
+        ``key`` names the object acted on; keyed histories let the
+        checker exploit P-compositionality (one search per object).
+        """
         invoke = self.clock()
         result = call()
         response = self.clock()
         self.operations.append(Operation(
             op_id=next(self._ids), thread=thread, method=method,
-            args=args, result=result, invoke=invoke, response=response))
+            args=args, result=result, invoke=invoke, response=response,
+            key=key))
         return result
 
     def add(self, thread: str, method: str, args: tuple, result: Any,
-            invoke: float, response: float) -> None:
+            invoke: float, response: float,
+            key: str | None = None) -> None:
         """Log an operation measured externally."""
         self.operations.append(Operation(
             op_id=next(self._ids), thread=thread, method=method,
-            args=args, result=result, invoke=invoke, response=response))
+            args=args, result=result, invoke=invoke, response=response,
+            key=key))
 
     def clear(self) -> None:
         self.operations.clear()

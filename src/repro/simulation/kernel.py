@@ -75,11 +75,24 @@ class Timer:
 
 
 class Kernel:
-    """Virtual-time scheduler for simulated threads and timers."""
+    """Virtual-time scheduler for simulated threads and timers.
 
-    def __init__(self, seed: int = 0, name: str = "sim"):
+    ``scheduler`` — an object implementing the
+    :class:`repro.explore.Scheduler` protocol — turns every dispatch
+    into an explicit *scheduling point*: all events ready at the
+    minimum virtual time are offered to it, and it picks which one runs
+    (and may delay it by a bounded amount).  ``None`` (the default)
+    keeps the historical FIFO ``(time, seq)`` order with zero overhead;
+    :class:`repro.explore.FifoScheduler` reproduces it decision-by-
+    decision, which is what makes schedule exploration a strict
+    generalisation of the deterministic kernel rather than a fork.
+    """
+
+    def __init__(self, seed: int = 0, name: str = "sim", scheduler=None):
         self.name = name
         self.rng = RngRegistry(seed)
+        #: Optional schedule-exploration hook (repro.explore).
+        self.scheduler = scheduler
         # Deferred import: repro.trace imports this module at its top.
         from repro.trace.tracer import NULL_TRACER
 
@@ -181,12 +194,12 @@ class Kernel:
         """
         self._check_host_context()
         while self._heap:
-            time, _seq, item = self._heap[0]
+            time = self._heap[0][0]
             if until is not None and time > until:
                 self._now = until
                 return
-            heapq.heappop(self._heap)
-            if getattr(item, "cancelled", False):
+            item = self._next_event()
+            if item is None:
                 continue
             self._now = time
             if isinstance(item, Timer):
@@ -206,8 +219,9 @@ class Kernel:
                     raise SimulationError(
                         "event queue drained before condition was met")
                 return
-            time, _seq, item = heapq.heappop(self._heap)
-            if getattr(item, "cancelled", False):
+            time = self._heap[0][0]
+            item = self._next_event()
+            if item is None:
                 continue
             if limit is not None and time > limit:
                 self._now = limit
@@ -218,6 +232,41 @@ class Kernel:
                 item.callback()
             else:
                 self._dispatch(item)
+
+    def _next_event(self):
+        """Pop the event to dispatch next, or ``None`` to re-examine.
+
+        Without a scheduler this is a plain heap pop (cancelled events
+        yield ``None``): the historical, byte-stable ``(time, seq)``
+        order.  With one, every pop becomes a *scheduling point*: all
+        live events ready at the minimum virtual time are offered to
+        ``scheduler.decide(time, entries)`` — ``entries`` being
+        ``(seq, item)`` pairs in FIFO order — which returns the chosen
+        index plus a bounded extra delay.  A positive delay re-enqueues
+        the chosen event at ``time + delay`` (a preemption: events due
+        within the delay window overtake it) and reports ``None`` so
+        the caller re-peeks the heap.
+        """
+        time, seq, item = heapq.heappop(self._heap)
+        if getattr(item, "cancelled", False):
+            return None
+        if self.scheduler is None:
+            return item
+        batch = [(seq, item)]
+        while self._heap and self._heap[0][0] == time:
+            _, other_seq, other = heapq.heappop(self._heap)
+            if not getattr(other, "cancelled", False):
+                batch.append((other_seq, other))
+        index, delay = self.scheduler.decide(time, batch)
+        chosen_seq, chosen = batch.pop(index)
+        for entry_seq, entry in batch:
+            heapq.heappush(self._heap, (time, entry_seq, entry))
+        if delay > 0:
+            chosen.time = time + delay
+            heapq.heappush(self._heap,
+                           (chosen.time, next(self._seq), chosen))
+            return None
+        return chosen
 
     def run_main(self, target: Callable[..., Any], *args, **kwargs) -> Any:
         """Run ``target`` as the client application to completion.

@@ -44,14 +44,17 @@ def _index(spans: Sequence[Span]) -> tuple[list[Span], dict[int, list[Span]]]:
 # ---------------------------------------------------------------------------
 
 
-def to_chrome_trace(source: "Tracer | Iterable[Span]") -> dict[str, Any]:
+def to_chrome_trace(source: "Tracer | Iterable[Span]",
+                    metadata: dict[str, Any] | None = None) -> dict[str, Any]:
     """Render spans as a Chrome trace-event document (dict).
 
     Uses complete ("X") events with microsecond timestamps; endpoints
     map to pids (with ``process_name`` metadata) and simulated threads
     to tids, so Perfetto shows one track per simulated thread grouped
     by endpoint.  Spans still open at export time are emitted with
-    zero duration and ``"unfinished": true``.
+    zero duration and ``"unfinished": true``.  ``metadata`` lands in
+    the document's ``otherData`` section (the exploration runner tags
+    exports with their schedule id this way).
     """
     spans = _spans_of(source)
     pids: dict[str, int] = {}
@@ -88,30 +91,36 @@ def to_chrome_trace(source: "Tracer | Iterable[Span]") -> dict[str, Any]:
             "args": args,
         })
         thread_names.setdefault((pid, tid), span.thread_name)
-    metadata: list[dict[str, Any]] = []
+    meta_events: list[dict[str, Any]] = []
     for endpoint, pid in pids.items():
-        metadata.append({
+        meta_events.append({
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
             "args": {"name": endpoint},
         })
     for (pid, tid), tname in thread_names.items():
-        metadata.append({
+        meta_events.append({
             "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": tname},
         })
-    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+    document = {"traceEvents": meta_events + events,
+                "displayTimeUnit": "ms"}
+    if metadata:
+        document["otherData"] = dict(metadata)
+    return document
 
 
-def chrome_trace_json(source: "Tracer | Iterable[Span]") -> str:
+def chrome_trace_json(source: "Tracer | Iterable[Span]",
+                      metadata: dict[str, Any] | None = None) -> str:
     """The Chrome trace document serialized deterministically."""
-    return json.dumps(to_chrome_trace(source), sort_keys=True,
-                      separators=(",", ":"))
+    return json.dumps(to_chrome_trace(source, metadata=metadata),
+                      sort_keys=True, separators=(",", ":"))
 
 
-def write_chrome_trace(path: str, source: "Tracer | Iterable[Span]") -> str:
+def write_chrome_trace(path: str, source: "Tracer | Iterable[Span]",
+                       metadata: dict[str, Any] | None = None) -> str:
     """Write the Chrome trace JSON to ``path``; returns the path."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(chrome_trace_json(source))
+        fh.write(chrome_trace_json(source, metadata=metadata))
     return path
 
 

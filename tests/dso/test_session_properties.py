@@ -1,0 +1,131 @@
+"""Property-based invariants of the exactly-once ``SessionTable``.
+
+Random operation sequences (hypothesis' seeded generators) against the
+table, with a mirror model tracking what the table *must* remember:
+
+* watermark truncation never drops a reply the client has not yet
+  acknowledged — whatever interleaving of records, acks and
+  retransmissions produced it;
+* bounded-table eviction respects commit flags: a session retaining an
+  *uncommitted* reply (whose retransmission would re-replicate) is
+  never evicted while any fully-acknowledged or all-committed session
+  could be dropped instead.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dso.session import SessionStamp, SessionTable
+
+#: (session index, action, payload) — the raw material of a run.
+EVENTS = st.lists(
+    st.tuples(st.integers(0, 3),
+              st.sampled_from(["record", "ack", "retransmit"]),
+              st.booleans()),
+    min_size=1, max_size=60)
+
+
+class _Client:
+    """Client-side view of one session: what may be acknowledged."""
+
+    def __init__(self, index):
+        self.sid = f"s{index}"
+        self.next_seq = 0
+        self.acked = -1
+        self.received = []  # seqs whose replies arrived, in order
+        self.replies = {}   # seq -> reply we expect the table to hold
+
+    def stamp(self, seq=None):
+        return SessionStamp(sid=self.sid,
+                            seq=self.next_seq if seq is None else seq,
+                            acked=self.acked)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=EVENTS)
+def test_truncation_never_drops_an_unacked_reply(events):
+    table = SessionTable(limit=4096)  # never evicts in this run
+    clients = [_Client(i) for i in range(4)]
+    for index, action, flag in events:
+        client = clients[index]
+        if action == "record":
+            stamp = client.stamp()
+            reply = f"{client.sid}#{stamp.seq}"
+            table.record(stamp, reply, committed=flag)
+            client.replies[stamp.seq] = reply
+            client.received.append(stamp.seq)
+            client.next_seq += 1
+        elif action == "ack" and client.received:
+            # The client acknowledges its oldest outstanding reply;
+            # the watermark rides on the *next* recorded stamp.
+            client.acked = max(client.acked, client.received.pop(0))
+        elif action == "retransmit" and client.replies:
+            seq = max(client.replies)
+            if seq > client.acked:  # re-asking below the watermark is
+                entry = table.lookup(client.stamp(seq=seq))  # a protocol
+                assert entry is not None                     # violation
+                assert entry.reply == client.replies[seq]
+        # The invariant, after every step: every reply above the
+        # acknowledgement watermark is still retrievable.
+        for c in clients:
+            for seq, reply in c.replies.items():
+                if seq > c.acked:
+                    entry = table.lookup(c.stamp(seq=seq))
+                    assert entry is not None, \
+                        f"{c.sid}#{seq} dropped (acked={c.acked})"
+                    assert entry.reply == reply
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    committed_flags=st.lists(st.booleans(), min_size=6, max_size=20),
+    limit=st.integers(2, 5),
+)
+def test_eviction_never_drops_uncommitted_while_committed_remain(
+        committed_flags, limit):
+    """As long as at most ``limit`` sessions hold uncommitted replies,
+    none of them is ever evicted — eviction prefers acknowledged and
+    all-committed sessions."""
+    uncommitted = [f"s{i}" for i, c in enumerate(committed_flags)
+                   if not c]
+    if len(uncommitted) > limit:
+        uncommitted = uncommitted[:limit]
+        committed_flags = list(committed_flags)
+        kept = 0
+        for i, c in enumerate(committed_flags):
+            if not c:
+                kept += 1
+                if kept > limit:
+                    committed_flags[i] = True
+    table = SessionTable(limit=limit)
+    for i, committed in enumerate(committed_flags):
+        stamp = SessionStamp(sid=f"s{i}", seq=0)
+        table.record(stamp, f"reply-{i}", committed=committed)
+    survivors = set(table.sessions())
+    for sid in uncommitted:
+        assert sid in survivors, \
+            f"uncommitted session {sid} evicted; survivors={survivors}"
+
+
+def test_eviction_prefers_committed_over_colder_uncommitted():
+    # LRU alone would evict s-uncommitted (the coldest); the commit
+    # flag must override recency.
+    table = SessionTable(limit=2)
+    table.record(SessionStamp(sid="s-uncommitted", seq=0), "r0",
+                 committed=False)
+    table.record(SessionStamp(sid="s-committed", seq=0), "r1",
+                 committed=True)
+    table.record(SessionStamp(sid="s-new", seq=0), "r2", committed=False)
+    assert set(table.sessions()) == {"s-uncommitted", "s-new"}
+
+
+def test_eviction_prefers_empty_sessions_over_all_committed():
+    table = SessionTable(limit=2)
+    # s-empty recorded then fully truncated by its own watermark.
+    table.record(SessionStamp(sid="s-empty", seq=0), "r0",
+                 committed=True)
+    table.truncate(SessionStamp(sid="s-empty", seq=1, acked=0))
+    table.record(SessionStamp(sid="s-committed", seq=0), "r1",
+                 committed=True)
+    table.record(SessionStamp(sid="s-new", seq=0), "r2", committed=False)
+    assert set(table.sessions()) == {"s-committed", "s-new"}

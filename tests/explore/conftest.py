@@ -1,0 +1,26 @@
+"""Fixtures for the exploration suite.
+
+``EXPLORE_SEED`` (environment variable, comma-separated) narrows the
+exploration base-seed matrix — the CI ``explore-smoke`` job shards
+across seeds with it and re-runs a failing seed in isolation.
+"""
+
+import os
+
+import pytest
+
+#: Default base seeds for the smoke exploration matrix.
+EXPLORE_SEEDS = (0, 13, 31)
+
+
+def _selected_seeds():
+    override = os.environ.get("EXPLORE_SEED")
+    if override:
+        return tuple(int(s) for s in override.split(","))
+    return EXPLORE_SEEDS
+
+
+@pytest.fixture(params=_selected_seeds(),
+                ids=lambda seed: f"seed{seed}")
+def explore_seed(request):
+    return request.param

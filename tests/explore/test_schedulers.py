@@ -1,0 +1,108 @@
+"""Scheduler strategies: determinism, diversity, replay.
+
+The determinism contract under test: a schedule is a pure function of
+``(scheduler kind, exploration seed, workload)`` — same seed, same
+decisions, same fingerprint; different seeds, genuinely different
+interleavings.
+"""
+
+import pytest
+
+from repro.explore import (
+    FifoScheduler,
+    PctScheduler,
+    RandomScheduler,
+)
+from repro.explore.scheduler import ReplayScheduler, ScheduleTrace
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep
+
+
+def _contended_run(scheduler, rounds=4):
+    """N threads that repeatedly tie at the same wakeup instants;
+    returns the observed event order."""
+    order = []
+    with Kernel(seed=1, scheduler=scheduler) as kernel:
+        def worker(tag):
+            for round_no in range(rounds):
+                sleep(1.0)
+                order.append((tag, round_no))
+
+        for tag in "abcd":
+            kernel.spawn(worker, tag, name=f"worker-{tag}")
+        kernel.run()
+    return order
+
+
+def test_same_seed_same_decisions():
+    runs = []
+    for _ in range(2):
+        scheduler = RandomScheduler(seed=7, preempt_prob=0.1)
+        order = _contended_run(scheduler)
+        runs.append((order, scheduler.trace.decisions,
+                     scheduler.trace.fingerprint()))
+    assert runs[0] == runs[1]
+
+
+def test_different_seeds_reach_distinct_interleavings():
+    orders, fingerprints = set(), set()
+    for seed in range(6):
+        scheduler = RandomScheduler(seed=seed)
+        orders.add(tuple(_contended_run(scheduler)))
+        fingerprints.add(scheduler.trace.fingerprint())
+    assert len(orders) >= 2
+    assert len(fingerprints) >= 2
+
+
+def test_fifo_fingerprint_is_stable_and_trivial():
+    first = FifoScheduler()
+    second = FifoScheduler()
+    _contended_run(first)
+    _contended_run(second)
+    assert first.trace.fingerprint() == second.trace.fingerprint()
+    # FIFO never reorders or delays anything.
+    assert all(d.chosen == 0 and d.delay == 0
+               for d in first.trace.decisions)
+    # A trace with no decisions at all describes itself as FIFO.
+    assert "FIFO" in ScheduleTrace().describe()
+
+
+def test_replay_reproduces_the_recorded_run():
+    original = RandomScheduler(seed=11, preempt_prob=0.2)
+    order = _contended_run(original)
+    replayer = ReplayScheduler(original.trace)
+    assert _contended_run(replayer) == order
+    assert replayer.trace.fingerprint() == original.trace.fingerprint()
+
+
+def test_replay_prefix_falls_back_to_fifo():
+    original = RandomScheduler(seed=11, preempt_prob=0.2)
+    _contended_run(original)
+    prefix = original.trace.decisions[:3]
+    replayer = ReplayScheduler(prefix)
+    _contended_run(replayer)
+    tail = replayer.trace.decisions[3:]
+    assert all(d.chosen == 0 and d.delay == 0 for d in tail)
+
+
+def test_pct_is_deterministic_and_depth_bounded():
+    first = PctScheduler(seed=5, depth=3, expected_steps=50)
+    second = PctScheduler(seed=5, depth=3, expected_steps=50)
+    assert _contended_run(first) == _contended_run(second)
+    assert first.trace.fingerprint() == second.trace.fingerprint()
+    # depth - 1 change points at most.
+    assert len(first._change_steps) <= 2
+
+
+def test_pct_rejects_zero_depth():
+    with pytest.raises(ValueError):
+        PctScheduler(seed=0, depth=0)
+
+
+def test_random_preemptions_are_bounded():
+    scheduler = RandomScheduler(seed=2, preempt_prob=1.0,
+                                max_preemptions=3)
+    _contended_run(scheduler)
+    assert scheduler.preemptions == 3
+    delayed = [d for d in scheduler.trace.decisions if d.delay > 0]
+    assert len(delayed) == 3

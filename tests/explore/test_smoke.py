@@ -1,0 +1,86 @@
+"""The CI ``explore-smoke`` budget: a few seeds, a small trial count,
+the paper's two canonical workloads.
+
+Each seed of the matrix fuzzes (a) the Listing-1 counter workload and
+(b) a scaled-down Monte Carlo pi estimation through the exploration
+runner, checking linearizability of the recorded counter history and
+the workload-level invariant.  Failing seeds dump their schedules to
+``EXPLORE_ARTIFACT_DIR`` (when set) for the CI upload step.
+"""
+
+import math
+import os
+
+from repro import AtomicLong, ExplorationRunner, LinearizabilityChecker
+from repro.ports.montecarlo_crucial import estimate_pi
+
+TRIALS = 3  # per seed: the smoke budget, not a soak
+
+
+class CounterSpec:
+    def __init__(self):
+        self.value = 0
+
+    def add_and_get(self, delta):
+        self.value += delta
+        return self.value
+
+    def get(self):
+        return self.value
+
+
+def _artifact_dir(suffix):
+    base = os.environ.get("EXPLORE_ARTIFACT_DIR")
+    return os.path.join(base, suffix) if base else None
+
+
+def counter_workload(trial):
+    from repro.simulation.thread import spawn
+
+    with trial.environment(dso_nodes=2) as env:
+        def main():
+            counter = AtomicLong("smoke-counter")
+            counter.get()
+
+            def worker(tid):
+                for _ in range(2):
+                    trial.recorder.record(
+                        f"w{tid}", "add_and_get", (1,),
+                        lambda: counter.add_and_get(1),
+                        key="smoke-counter")
+
+            workers = [spawn(worker, tid, name=f"worker-{tid}")
+                       for tid in range(2)]
+            for worker_thread in workers:
+                worker_thread.join()
+            return trial.recorder.record(
+                "main", "get", (), counter.get, key="smoke-counter")
+
+        return env.run(main)
+
+
+def montecarlo_workload(trial):
+    with trial.environment(dso_nodes=1) as env:
+        return env.run(lambda: estimate_pi(4, counter_key="smoke-pi"))
+
+
+def test_counter_smoke(explore_seed):
+    report = ExplorationRunner(
+        counter_workload, trials=TRIALS, base_seed=explore_seed,
+        scheduler="random", scheduler_opts={"preempt_prob": 0.05},
+        checker=LinearizabilityChecker(CounterSpec),
+        invariants=[lambda trial, value: value == 4],
+        artifact_dir=_artifact_dir(f"counter-seed{explore_seed}")).run()
+    assert report.ok, report.summary()
+    assert len(report.results) == TRIALS
+
+
+def test_montecarlo_smoke(explore_seed):
+    report = ExplorationRunner(
+        montecarlo_workload, trials=TRIALS, base_seed=explore_seed,
+        scheduler="random",
+        invariants=[lambda trial, value:
+                    abs(value - math.pi) < 0.01],
+        artifact_dir=_artifact_dir(
+            f"montecarlo-seed{explore_seed}")).run()
+    assert report.ok, report.summary()

@@ -1,0 +1,54 @@
+"""Kernel dispatch rate and pipelined DSO shipping vs sequential."""
+
+import json
+
+import pytest
+
+from conftest import OUT_DIR, archive, full_scale
+from repro.config import DEFAULT_CONFIG
+from repro.harness import kernel_speed
+
+# Conservative wall-clock floors (events/sec): a regression that
+# reintroduces per-pop isinstance/getattr taxes or per-event allocation
+# shows up as an order-of-magnitude drop, while CI jitter stays within
+# these margins.
+WAKEUPS_PER_SEC_FLOOR = 10_000
+TIMERS_PER_SEC_FLOOR = 100_000
+# Virtual-time amortization bar for batched shipping (ISSUE 6).
+PIPELINE_SPEEDUP_FLOOR = 3.0
+
+
+def test_kernel_speed(benchmark):
+    events = 200_000 if full_scale() else 40_000
+    ops = 2_000 if full_scale() else 400
+    result = benchmark.pedantic(kernel_speed.run,
+                                kwargs={"events": events, "ops": ops},
+                                rounds=1, iterations=1)
+    report = kernel_speed.report(result)
+    archive("kernel_speed", report)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_kernel.json").write_text(json.dumps({
+        "wakeup_events": result.wakeup_events,
+        "wakeups_per_sec": result.wakeups_per_sec,
+        "timer_events": result.timer_events,
+        "timers_per_sec": result.timers_per_sec,
+        "ops": result.ops,
+        "sync_op_us": result.sync_op_time * 1e6,
+        "pipelined_op_us": result.pipelined_op_time * 1e6,
+        "sync_ops_per_sec": 1.0 / result.sync_op_time,
+        "pipelined_ops_per_sec": 1.0 / result.pipelined_op_time,
+        "pipeline_speedup": result.pipeline_speedup,
+        "batches": result.batches,
+    }, indent=2) + "\n")
+
+    assert result.wakeups_per_sec >= WAKEUPS_PER_SEC_FLOOR, report
+    assert result.timers_per_sec >= TIMERS_PER_SEC_FLOOR, report
+    # Batched shipping amortizes the round trip at least 3x on a
+    # same-primary workload.
+    assert result.pipeline_speedup >= PIPELINE_SPEEDUP_FLOOR, report
+    # And costs the synchronous path nothing: the sequential PUT stays
+    # on the Table 2 calibration (hops + put_service).
+    timings = DEFAULT_CONFIG.dso
+    expected_sync = (2 * timings.client_server.mean()
+                     + timings.put_service)
+    assert result.sync_op_time == pytest.approx(expected_sync, rel=0.10)

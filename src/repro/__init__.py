@@ -67,6 +67,7 @@ from repro.core import (
 )
 from repro.core.runtime import RUNNER_FUNCTION, compute, current_location
 from repro.dso.cache import readonly
+from repro.dso.pipeline import DsoFuture
 from repro.explore import (
     ExplorationReport,
     ExplorationRunner,
@@ -91,7 +92,7 @@ from repro.trace import (
     write_chrome_trace,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Config",
@@ -110,6 +111,7 @@ __all__ = [
     "SharedField",
     "dso_costs",
     "readonly",
+    "DsoFuture",
     "AtomicInt",
     "AtomicLong",
     "AtomicBoolean",

@@ -31,6 +31,7 @@ from repro.harness import (
     fig7b_breakdown,
     fig7c_santa,
     fig8_persistence,
+    kernel_speed,
     table2_latency,
     table3_costs,
     table4_loc,
@@ -68,6 +69,9 @@ EXPERIMENTS = {
                   "full": {"worker_counts": (8, 20, 40, 80)}}),
     "cache": (cache_readpath,
               {"default": {"ops": 300}, "full": {"ops": 2000}}),
+    "kernel": (kernel_speed,
+               {"default": {"events": 40_000, "ops": 400},
+                "full": {"events": 200_000, "ops": 2_000}}),
 }
 
 

@@ -127,6 +127,15 @@ class DsoTimings:
     cache_hit_overhead: float = 2 * MICROS
     #: Per-endpoint cap on cached objects (LRU beyond this).
     cache_max_objects: int = 256
+    #: Client-side pipelining (``DsoLayer.invoke_async``): a flushed
+    #: batch carries up to ``pipeline_max_batch`` ops, and a partial
+    #: batch waits at most ``pipeline_flush_window`` of virtual time
+    #: for more ops before shipping.  The window is sized to one
+    #: client<->server round trip: pipelined submitters refill the
+    #: queue faster than that, and latency-sensitive callers flush
+    #: explicitly (``future.result()`` flushes immediately).
+    pipeline_max_batch: int = 32
+    pipeline_flush_window: float = 200 * MICROS
     #: Per-object state-transfer cost during rebalancing (includes the
     #: deliberate throttling real grids apply so rebalance does not
     #: starve foreground traffic), plus a fixed view-installation

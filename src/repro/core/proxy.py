@@ -53,6 +53,20 @@ class DsoProxy:
             current_location(), self._ref, method, args, kwargs,
             ctor=self._ctor, cost=cost)
 
+    def invoke_async(self, method: str, *args: Any, cost: float = 0.0,
+                     **kwargs: Any):
+        """Ship ``method`` without waiting for the reply.
+
+        Returns a :class:`repro.dso.pipeline.DsoFuture`; the op is
+        batched with other queued invocations from this endpoint (see
+        ``DsoLayer.invoke_async``).  ``future.result()`` blocks until
+        the reply arrives, re-raising remote application exceptions.
+        """
+        env = current_environment()
+        return env.dso.invoke_async(
+            current_location(), self._ref, method, args, kwargs,
+            ctor=self._ctor, cost=cost)
+
     def _ensure(self) -> None:
         """Force creation without invoking any method."""
         self._invoke("__dso_touch__")

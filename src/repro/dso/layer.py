@@ -50,6 +50,7 @@ from repro.cluster.membership import MembershipService, View
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.retry import RetryPolicy
 from repro.dso.cache import CacheEntry, LeaseGrant, ObjectCache, is_readonly, readonly
+from repro.dso.pipeline import DsoFuture, _PendingOp, _Pipeline
 from repro.dso.reference import DsoReference
 from repro.dso.server import DsoCall, DsoNode, ObjectContainer, ServerCondition
 from repro.dso.session import SessionStamp, _ClientSession
@@ -144,6 +145,10 @@ class LayerStats:
     leases_granted: int = 0
     #: Leases revoked by mutating invocations before acknowledging.
     lease_revocations: int = 0
+    #: Ops shipped through the pipelined async path, and the batch
+    #: round trips that carried them (repro.dso.pipeline).
+    pipelined_ops: int = 0
+    batches: int = 0
 
 
 class DsoLayer:
@@ -187,6 +192,10 @@ class DsoLayer:
         self._session_ids = itertools.count()
         self._thread_sessions: dict[int, _ClientSession] = {}
         self._named_stack: dict[int, list[_ClientSession]] = {}
+        #: Per-endpoint async op queues (repro.dso.pipeline), created
+        #: lazily on the first invoke_async — the dict stays empty (and
+        #: the sync path pays nothing) until the feature is used.
+        self._pipelines: dict[str, _Pipeline] = {}
         self._failure_detector = None
         self.membership.subscribe(self._on_view)
 
@@ -422,8 +431,12 @@ on_container_reclaim` so cache lifetime equals container lifetime:
         Each holder is sent an invalidation message (charged to the
         writer, like any transfer); a holder the primary cannot reach
         is waited out to its lease expiry instead — after which its
-        cache entry is stale by time.  Runs under the object lock, so
-        no new lease can be granted concurrently.
+        cache entry is stale by time.  Unreachable holders are waited
+        out *together*: their leases expire concurrently, so k
+        partitioned holders stall the writer to the max remaining TTL,
+        not the sum — and reachable holders are invalidated before any
+        waiting starts.  Runs under the object lock, so no new lease
+        can be granted concurrently.
         """
         holders = container.leases.active(self.kernel.now)
         container.leases.clear()
@@ -433,19 +446,29 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                 "dso.lease_revoke", kind="server", endpoint=primary_name,
                 attributes={"object": "/".join(container.key),
                             "holders": len(holders)}):
+            unreachable: list[tuple[str, float]] = []
             for holder, expiry in holders:
                 try:
                     self.network.transfer(primary_name, holder,
                                           ("dso.lease_revoke",
                                            container.key))
                 except NetworkError:
-                    remaining = expiry - self.kernel.now
-                    if remaining > 0:
-                        current_thread().sleep(remaining)
+                    unreachable.append((holder, expiry))
+                    continue
                 cache = self._caches.get(holder)
                 if cache is not None:
                     cache.invalidate(container.key)
                 self.stats.lease_revocations += 1
+            if unreachable:
+                remaining = (max(expiry for _, expiry in unreachable)
+                             - self.kernel.now)
+                if remaining > 0:
+                    current_thread().sleep(remaining)
+                for holder, _ in unreachable:
+                    cache = self._caches.get(holder)
+                    if cache is not None:
+                        cache.invalidate(container.key)
+                    self.stats.lease_revocations += 1
 
     def _invalidate_all_caches(self, ident: tuple[str, str]) -> None:
         """Purge ``ident`` everywhere (delete/restore control plane:
@@ -472,6 +495,12 @@ on_container_reclaim` so cache lifetime equals container lifetime:
         method propagate to the caller.
         """
         kwargs = kwargs or {}
+        if self._pipelines:
+            # Program order across the sync/async boundary: a sync op
+            # must not overtake async ops this endpoint already queued.
+            pipeline = self._pipelines.get(client)
+            if pipeline is not None and pipeline.busy:
+                pipeline.drain()
         tracer = self.kernel.tracer
         cacheable = self._cacheable(ctor, method)
         if cacheable:
@@ -520,9 +549,26 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                         raise ObjectLostError(
                             f"{ref} was lost in a storage-node failure"
                         ) from exc
-                    if self.kernel.now >= deadline:
-                        raise
-                    current_thread().sleep(self._retry_delay(attempts - 1))
+                    self._backoff_or_raise(attempts, deadline)
+
+    def _backoff_or_raise(self, attempts: int, deadline: float) -> None:
+        """Sleep the retry backoff, clamped to ``deadline``.
+
+        A backoff that would overshoot the retry window instead waits
+        out the window and re-raises the original failure — without the
+        clamp, one over-long sleep fires an extra attempt past the
+        documented ``_retry_deadline_pad`` budget.  Must be called from
+        the ``except`` block of a retry loop (re-raises the active
+        exception at the deadline).
+        """
+        if self.kernel.now >= deadline:
+            raise
+        delay = self._retry_delay(attempts - 1)
+        remaining = deadline - self.kernel.now
+        if delay >= remaining:
+            current_thread().sleep(remaining)
+            raise
+        current_thread().sleep(delay)
 
     def _retry_deadline_pad(self) -> float:
         """How long transient failures are retried before surfacing:
@@ -543,6 +589,77 @@ on_container_reclaim` so cache lifetime equals container lifetime:
         self.invoke(client, ref, "set", args=(value,),
                     ctor=(KvSlot, (), {}),
                     raw_service=self.config.dso.put_service)
+
+    # ------------------------------------------------------------------
+    # Pipelined asynchronous shipping (repro.dso.pipeline)
+    # ------------------------------------------------------------------
+
+    def invoke_async(self, client: str, ref: DsoReference, method: str,
+                     args: tuple = (), kwargs: dict | None = None,
+                     ctor: tuple | None = None, cost: float = 0.0,
+                     raw_service: float | None = None) -> DsoFuture:
+        """Queue a method invocation for batched shipping.
+
+        Returns a :class:`DsoFuture` immediately; the op ships with the
+        endpoint's next batch flush (size, window, or an explicit
+        :meth:`flush` / ``future.result()``).  The session stamp is
+        drawn here, on the submitting thread, so the exactly-once
+        sequence numbers are identical to sequential :meth:`invoke` —
+        batching is invisible to the dedup machinery.  Cacheable reads
+        bypass the queue (served locally or shipped unstamped) and
+        return an already-resolved future.
+        """
+        kwargs = kwargs or {}
+        if self._cacheable(ctor, method):
+            future = DsoFuture()
+            try:
+                future._resolve(self.invoke(client, ref, method, args,
+                                            kwargs, ctor, cost,
+                                            raw_service))
+            except Exception as exc:  # noqa: BLE001 - surfaced by result()
+                future._fail(exc)
+            return future
+        pipeline = self._pipeline_for(client)
+        session = self._session_for(client)
+        future = DsoFuture(pipeline)
+        pipeline.submit(_PendingOp(
+            ref=ref, method=method, args=args, kwargs=kwargs, ctor=ctor,
+            cost=cost, raw_service=raw_service, session=session,
+            stamp=session.stamp(), future=future))
+        return future
+
+    def get_async(self, client: str, key: str, rf: int = 1) -> DsoFuture:
+        """Pipelined raw GET (async counterpart of :meth:`get`)."""
+        return self.invoke_async(client, self._kv_ref(key, rf), "get",
+                                 ctor=(KvSlot, (), {}),
+                                 raw_service=self.config.dso.get_service)
+
+    def put_async(self, client: str, key: str, value: Any,
+                  rf: int = 1) -> DsoFuture:
+        """Pipelined raw PUT (async counterpart of :meth:`put`)."""
+        return self.invoke_async(client, self._kv_ref(key, rf), "set",
+                                 args=(value,), ctor=(KvSlot, (), {}),
+                                 raw_service=self.config.dso.put_service)
+
+    def flush(self, client: str | None = None) -> None:
+        """Block until queued async ops complete (one endpoint or all).
+
+        Must run in a simulated thread.  Returns once every op queued
+        *before* the call has resolved or failed its future.
+        """
+        if client is not None:
+            pipeline = self._pipelines.get(client)
+            if pipeline is not None:
+                pipeline.drain()
+            return
+        for pipeline in list(self._pipelines.values()):
+            pipeline.drain()
+
+    def _pipeline_for(self, client: str) -> _Pipeline:
+        pipeline = self._pipelines.get(client)
+        if pipeline is None:
+            pipeline = self._pipelines[client] = _Pipeline(self, client)
+        return pipeline
 
     def read_bulk(self, client: str, refs: Sequence[DsoReference],
                   method: str = "get", per_read_cost: float = 0.0) -> list[Any]:
@@ -576,9 +693,7 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                     return ship(results) if self.copy_instances else results
                 except (_StaleContainer, NetworkError, NodeCrashedError):
                     self.stats.retries += 1
-                    if self.kernel.now >= deadline:
-                        raise
-                    current_thread().sleep(self._retry_delay(attempts - 1))
+                    self._backoff_or_raise(attempts, deadline)
 
     def read_any(self, client: str, ref: DsoReference, method: str,
                  args: tuple = (), cost: float = 0.0) -> Any:
@@ -610,9 +725,7 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                     raise ObjectLostError(
                         f"{ref} was lost in a storage-node failure"
                     ) from exc
-                if self.kernel.now >= deadline:
-                    raise
-                current_thread().sleep(self._retry_delay(attempts - 1))
+                self._backoff_or_raise(attempts, deadline)
 
     def _read_any_once(self, client: str, ref: DsoReference, method: str,
                        args: tuple, cost: float) -> Any:
@@ -740,11 +853,39 @@ on_container_reclaim` so cache lifetime equals container lifetime:
         shipped = self.network.transfer(client, primary_name,
                                         (method, args, kwargs, stamp))
         method, args, kwargs, stamp = shipped
+        result, grant = self._execute_op(
+            client, ref, method, args, kwargs, cost, raw_service, stamp,
+            lease, placement, version, node, primary_name)
+        if grant is not None:
+            # The snapshot crosses the wire with the reply, so its
+            # bytes are charged; the shipped copy never aliases the
+            # primary's live instance.
+            result, grant = self.network.transfer(
+                primary_name, client, (result, grant))
+            self._store_cache(client, ref, grant)
+            return result
+        return self.network.transfer(primary_name, client, result)
+
+    def _execute_op(self, client: str, ref: DsoReference, method: str,
+                    args: tuple, kwargs: dict, cost: float,
+                    raw_service: float | None, stamp: SessionStamp | None,
+                    lease: bool, placement: Placement, version: int,
+                    node: DsoNode, primary_name: str,
+                    smr_context: dict | None = None
+                    ) -> tuple[Any, LeaseGrant | None]:
+        """Run one shipped op at its primary: lock, dedup, apply, SMR.
+
+        The primary-side half of :meth:`_invoke_once`, shared with the
+        batched path (:meth:`_run_batch`), which executes many ops per
+        round trip: ``smr_context`` then makes consecutive replicated
+        ops share a single SMR ordering round (see :meth:`_replicate`).
+        Returns ``(result, lease grant or None)``; the caller owns the
+        reply transfer back to the client.
+        """
         container = node.containers.get(ref.ident)
         if container is None or container.dead:
             raise _StaleContainer(f"{ref} not hosted on {primary_name}")
         call = DsoCall(container)
-        released = False
         grant: LeaseGrant | None = None
         with self.kernel.tracer.span(
                 "dso.primary", kind="server", endpoint=primary_name,
@@ -759,7 +900,7 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                     result = self._dedup_hit(placement, ref, node,
                                              container, call, entry,
                                              stamp, method, args, kwargs,
-                                             cost, version)
+                                             cost, version, smr_context)
                 else:
                     service = (raw_service if raw_service is not None
                                else self.config.dso.method_call_overhead)
@@ -806,23 +947,152 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                         # total order.
                         call.release_worker()
                         self._replicate(placement, ref, method, args,
-                                        kwargs, cost, stamp, result)
+                                        kwargs, cost, stamp, result,
+                                        smr_context)
                         if entry is not None:
                             entry.committed = True
             finally:
                 if not call.aborted:
                     call.release()
-                released = True
-        assert released
-        if grant is not None:
-            # The snapshot crosses the wire with the reply, so its
-            # bytes are charged; the shipped copy never aliases the
-            # primary's live instance.
-            result, grant = self.network.transfer(
-                primary_name, client, (result, grant))
-            self._store_cache(client, ref, grant)
-            return result
-        return self.network.transfer(primary_name, client, result)
+        return result, grant
+
+    # ------------------------------------------------------------------
+    # Batched shipping (the pump side of repro.dso.pipeline)
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, client: str, ops: list[_PendingOp]) -> None:
+        """Ship one flushed batch, retrying transient failures.
+
+        A transient infrastructure failure retries only the unfinished
+        ops; ops that already applied dedup against the session table
+        on the retry, so a re-shipped batch never double-applies.  At
+        the retry deadline the surviving failure is delivered to every
+        unfinished future — the pump thread itself never dies.
+        """
+        remaining = [op for op in ops if not op.future.done]
+        if not remaining:
+            return
+        deadline = self.kernel.now + self._retry_deadline_pad()
+        attempts = 0
+        while remaining:
+            attempts += 1
+            try:
+                self._batch_attempt(client, remaining)
+            except (_StaleContainer, NetworkError,
+                    NodeCrashedError) as exc:
+                self.stats.retries += 1
+                survivors = []
+                for op in remaining:
+                    if op.future.done:
+                        continue
+                    placement = self._placements.get(op.ref.ident)
+                    if placement is not None and placement.lost:
+                        op.future._fail(ObjectLostError(
+                            f"{op.ref} was lost in a storage-node "
+                            f"failure"))
+                    else:
+                        survivors.append(op)
+                remaining = survivors
+                if not remaining:
+                    return
+                if self.kernel.now >= deadline:
+                    for op in remaining:
+                        op.future._fail(exc)
+                    return
+                # Same clamp as _backoff_or_raise, but failures land in
+                # the futures instead of unwinding the pump thread.
+                delay = self._retry_delay(attempts - 1)
+                window = deadline - self.kernel.now
+                if delay >= window:
+                    current_thread().sleep(window)
+                    for op in remaining:
+                        op.future._fail(exc)
+                    return
+                current_thread().sleep(delay)
+            else:
+                remaining = [op for op in remaining if not op.future.done]
+
+    def _batch_attempt(self, client: str, ops: list[_PendingOp]) -> None:
+        """One pass over a batch, in submission order.
+
+        Consecutive ops sharing a primary coalesce into one round trip
+        (:meth:`_ship_group`); a run boundary is a barrier, so batching
+        never reorders ops within a session — or across one.
+        """
+        runs: list[tuple[str, list[_PendingOp]]] = []
+        for op in ops:
+            if op.future.done:
+                continue
+            try:
+                placement = self._lookup(op.ref, op.ctor)
+            except (ObjectLostError, NoSuchObjectError,
+                    ServiceUnavailableError) as exc:
+                op.future._fail(exc)
+                continue
+            primary = placement.replicas[0]
+            if runs and runs[-1][0] == primary:
+                runs[-1][1].append(op)
+            else:
+                runs.append((primary, [op]))
+        for primary_name, group in runs:
+            self._ship_group(client, primary_name, group)
+
+    def _ship_group(self, client: str, primary_name: str,
+                    group: list[_PendingOp]) -> None:
+        """One batched round trip to one primary.
+
+        A single request transfer carries every op of the group; the
+        primary executes them back to back — each still acquiring the
+        per-object lock, deduplicating, and charging its own service
+        time — with replicated ops sharing one SMR ordering round; a
+        single reply transfer carries the results back, demultiplexed
+        to the futures.  Application exceptions fail only their own
+        future; infrastructure failures abort the group and surface to
+        the retry loop (completed-but-unacknowledged ops dedup on the
+        retry, which is when their replies reach the client).
+        """
+        node = self._live_node(primary_name)
+        self._connect(client, primary_name)
+        with self.kernel.tracer.span(
+                "dso.batch", kind="client", endpoint=client,
+                attributes={"primary": primary_name, "ops": len(group)}):
+            shipped = self.network.transfer(
+                client, primary_name,
+                [(op.method, op.args, op.kwargs, op.stamp)
+                 for op in group])
+            smr_context: dict = {}
+            outcomes: list[tuple[_PendingOp, bool, Any]] = []
+            for op, wire in zip(group, shipped):
+                method, args, kwargs, stamp = wire
+                placement = self._placements.get(op.ref.ident)
+                if placement is None or placement.lost:
+                    raise _StaleContainer(f"{op.ref} no longer placed")
+                if placement.replicas[0] != primary_name:
+                    raise _StaleContainer(
+                        f"{op.ref} moved off {primary_name} mid-batch")
+                try:
+                    result, _ = self._execute_op(
+                        client, op.ref, method, args, kwargs, op.cost,
+                        op.raw_service, stamp, False, placement,
+                        placement.version, node, primary_name,
+                        smr_context=smr_context)
+                except (_StaleContainer, NetworkError, NodeCrashedError):
+                    raise
+                except Exception as exc:  # noqa: BLE001 - app-level error
+                    outcomes.append((op, False, exc))
+                else:
+                    outcomes.append((op, True, result))
+            replies = self.network.transfer(
+                primary_name, client,
+                [(ok, value) for _, ok, value in outcomes])
+            self.stats.batches += 1
+            self.stats.pipelined_ops += len(outcomes)
+            for (op, _, _), (ok, value) in zip(outcomes, replies):
+                if ok:
+                    op.session.acknowledge(op.stamp.seq)
+                    op.future._resolve(value)
+                else:
+                    op.future._fail(value)
 
     def _shippable(self, value: Any) -> Any:
         """A snapshot of ``value`` safe to cache as a session reply
@@ -833,7 +1103,7 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                    node: DsoNode, container: ObjectContainer,
                    call: DsoCall, entry, stamp: SessionStamp,
                    method: str, args: tuple, kwargs: dict, cost: float,
-                   version: int) -> Any:
+                   version: int, smr_context: dict | None = None) -> Any:
         """Answer a retransmission from the session table.
 
         Charges only lookup-grade service time, and — crucially — if
@@ -857,7 +1127,7 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                         and placement.version == version):
                     call.release_worker()
                     self._replicate(placement, ref, method, args, kwargs,
-                                    cost, stamp, entry.reply)
+                                    cost, stamp, entry.reply, smr_context)
                 entry.committed = True
         return entry.reply
 
@@ -878,7 +1148,8 @@ on_container_reclaim` so cache lifetime equals container lifetime:
     def _replicate(self, placement: Placement, ref: DsoReference,
                    method: str, args: tuple, kwargs: dict, cost: float,
                    stamp: SessionStamp | None = None,
-                   reply: Any = None) -> None:
+                   reply: Any = None,
+                   smr_context: dict | None = None) -> None:
         """Apply the op at every backup before acknowledging (SMR).
 
         Methods must be deterministic: each replica executes them on
@@ -886,14 +1157,24 @@ on_container_reclaim` so cache lifetime equals container lifetime:
         session ``stamp`` and primary ``reply`` replicate with the op,
         so any backup promoted to primary can still deduplicate the
         client's retries.
+
+        ``smr_context`` (a per-batch dict) lets the batched invoke path
+        charge the two inter-replica ordering hops once per batch: the
+        ops travel to the backups in a single totally-ordered round,
+        while per-op replica work is still paid in full.
         """
         hop = self.config.dso.replica_replica
         rng = self.kernel.rng.stream(f"dso.{self.name}.smr")
         primary_name = placement.replicas[0]
+        charge_hops = (smr_context is None
+                       or not smr_context.get("hops_charged"))
+        if smr_context is not None:
+            smr_context["hops_charged"] = True
         with self.kernel.tracer.span(
                 "dso.replicate", kind="server", endpoint=primary_name,
                 attributes={"backups": len(placement.replicas) - 1}):
-            current_thread().sleep(hop.sample(rng))  # ordering round out
+            if charge_hops:
+                current_thread().sleep(hop.sample(rng))  # ordering round out
             for backup_name in placement.replicas[1:]:
                 backup = self.nodes.get(backup_name)
                 if backup is None or not backup.alive:
@@ -933,7 +1214,8 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                                 committed=False)
                     finally:
                         backup.node.workers.release()
-            current_thread().sleep(hop.sample(rng))  # commit round back
+            if charge_hops:
+                current_thread().sleep(hop.sample(rng))  # commit round back
 
     def _read_bulk_attempt(self, client: str,
                            refs: Sequence[DsoReference], method: str,

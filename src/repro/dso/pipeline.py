@@ -1,0 +1,180 @@
+"""Pipelined + batched DSO method shipping (client side).
+
+``DsoLayer.invoke`` is one synchronous round trip per op: the caller
+pays two client<->server hops for every invocation, even when it does
+not need the reply yet.  This module adds the asynchronous path
+Cloudburst-style stateful-serverless systems use to amortize that cost:
+
+* :meth:`DsoLayer.invoke_async` stamps the op with the caller's session
+  (at **submit** time, on the submitting thread — so exactly-once
+  ordering is exactly what it would be for sequential ``invoke``),
+  enqueues it on the calling endpoint's :class:`_Pipeline`, and returns
+  a :class:`DsoFuture` immediately.
+* A per-endpoint pump thread flushes the queue when it reaches
+  ``pipeline_max_batch`` ops, when ``pipeline_flush_window`` of virtual
+  time has passed since the batch started forming, or when someone
+  blocks on a future / calls ``flush()``.
+* At flush time, *consecutive* ops that hash to the same primary ship
+  as one round trip: one request transfer carries the whole run, the
+  primary executes the ops back to back (each still taking the
+  per-object lock, deduplicating against the session table, and
+  charging its own service time), replicated ops share a single SMR
+  ordering round, and one reply transfer carries the results back,
+  demultiplexed to the futures.
+
+Batching never reorders ops within a session: the queue is drained in
+submission order, and only consecutive same-primary ops coalesce — a
+run boundary is a barrier, so cross-primary order is preserved too.
+Leases and cacheable reads bypass the pipeline entirely (they are
+either served locally or idempotent and unstamped); a synchronous
+``invoke`` from an endpoint with queued async ops drains the pipeline
+first, so mixed sync/async code keeps its program order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.simulation.primitives import Condition, Event
+
+
+class DsoFuture:
+    """Handle to one asynchronously shipped invocation.
+
+    ``result()`` blocks (in virtual time) until the op's reply arrives,
+    re-raising any application exception the method raised remotely —
+    the same surface a synchronous ``invoke`` would have had.  Blocking
+    on an unflushed future requests an immediate flush first, so a
+    submit-then-wait pattern never stalls for the flush window.
+    """
+
+    __slots__ = ("_pipeline", "_event", "_value", "_error", "_done")
+
+    def __init__(self, pipeline: "_Pipeline | None" = None):
+        self._pipeline = pipeline
+        self._event = (Event(pipeline.layer.kernel)
+                       if pipeline is not None else None)
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the reply (or failure) has arrived."""
+        return self._done
+
+    def result(self) -> Any:
+        """Wait for and return the op's reply."""
+        if not self._done:
+            self._pipeline.request_flush()
+            self._event.wait()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self) -> BaseException | None:
+        """Wait for completion; the failure, or ``None`` on success."""
+        if not self._done:
+            self._pipeline.request_flush()
+            self._event.wait()
+        return self._error
+
+    # -- pump side ---------------------------------------------------------
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._done = True
+        if self._event is not None:
+            self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+        if self._event is not None:
+            self._event.set()
+
+
+class _PendingOp:
+    """One queued invocation: wire arguments plus client-side context."""
+
+    __slots__ = ("ref", "method", "args", "kwargs", "ctor", "cost",
+                 "raw_service", "session", "stamp", "future")
+
+    def __init__(self, ref, method, args, kwargs, ctor, cost, raw_service,
+                 session, stamp, future):
+        self.ref = ref
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.ctor = ctor
+        self.cost = cost
+        self.raw_service = raw_service
+        self.session = session
+        self.stamp = stamp
+        self.future = future
+
+
+class _Pipeline:
+    """Per-endpoint op queue plus the daemon pump that flushes it."""
+
+    def __init__(self, layer, client: str):
+        self.layer = layer
+        self.client = client
+        self.pending: deque[_PendingOp] = deque()
+        self._cv = Condition(layer.kernel)
+        self._flush_requested = False
+        #: Ops taken off the queue and currently executing in the pump.
+        self.inflight = 0
+        self._pump = layer.kernel.spawn(
+            self._run, daemon=True, name=f"{layer.name}-pipe-{client}")
+
+    def submit(self, op: _PendingOp) -> None:
+        with self._cv:
+            self.pending.append(op)
+            self._cv.notify_all()
+
+    def request_flush(self) -> None:
+        """Flush now instead of waiting out the batching window."""
+        with self._cv:
+            self._flush_requested = True
+            self._cv.notify_all()
+
+    def drain(self) -> None:
+        """Block until every currently queued op has completed."""
+        with self._cv:
+            self._flush_requested = True
+            self._cv.notify_all()
+            while self.pending or self.inflight:
+                self._cv.wait()
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.pending) or self.inflight > 0
+
+    def _run(self) -> None:
+        timings = self.layer.config.dso
+        kernel = self.layer.kernel
+        while True:
+            with self._cv:
+                while not self.pending:
+                    self._flush_requested = False
+                    self._cv.wait()
+                # Let a partial batch fill up, bounded by the window.
+                window_end = kernel.now + timings.pipeline_flush_window
+                while (not self._flush_requested
+                       and len(self.pending) < timings.pipeline_max_batch):
+                    remaining = window_end - kernel.now
+                    if remaining <= 0:
+                        break
+                    self._cv.wait(remaining)
+                batch = []
+                while self.pending and len(batch) < timings.pipeline_max_batch:
+                    batch.append(self.pending.popleft())
+                self.inflight = len(batch)
+            try:
+                self.layer._run_batch(self.client, batch)
+            finally:
+                with self._cv:
+                    self.inflight = 0
+                    self._cv.notify_all()

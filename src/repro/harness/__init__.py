@@ -23,6 +23,7 @@ from repro.harness import (  # noqa: F401  (re-exported for discoverability)
     fig7b_breakdown,
     fig7c_santa,
     fig8_persistence,
+    kernel_speed,
     table2_latency,
     table3_costs,
     table4_loc,
@@ -43,5 +44,6 @@ __all__ = [
     "fig7b_breakdown",
     "fig7c_santa",
     "fig8_persistence",
+    "kernel_speed",
     "table4_loc",
 ]

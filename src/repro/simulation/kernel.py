@@ -19,6 +19,14 @@ from repro.simulation.rng import RngRegistry
 
 _context = threading.local()
 
+#: Cap on the Wakeup free list; beyond this, surplus events are left to
+#: the garbage collector (a pool larger than the live heap is pure waste).
+_POOL_MAX = 1024
+
+#: Compaction trigger: once at least this many cancelled events sit in
+#: the heap *and* they make up half of it, the dispatch loop rebuilds.
+_COMPACT_MIN = 512
+
 
 def current_kernel() -> "Kernel":
     """Return the kernel driving the calling simulated thread."""
@@ -46,24 +54,43 @@ class Wakeup:
 
     ``value`` is handed to the thread as the result of its suspension,
     letting primitives distinguish e.g. a timeout from a notification.
+
+    ``recycle`` marks wakeups whose handle never escapes the scheduling
+    call site (sleeps, primitive notifications): the kernel returns
+    those to a free pool once they leave the heap, so the dominant
+    event type allocates ~once instead of once per dispatch.
     """
 
-    __slots__ = ("thread", "value", "cancelled", "time")
+    __slots__ = ("thread", "value", "cancelled", "time", "recycle")
 
-    def __init__(self, thread: "SimThread", value: Any, time: float):
+    #: Dispatch discriminator, cheaper than ``isinstance`` per pop.
+    is_timer = False
+
+    def __init__(self, thread: "SimThread", value: Any, time: float,
+                 recycle: bool = False):
         self.thread = thread
         self.value = value
         self.time = time
         self.cancelled = False
+        self.recycle = recycle
 
     def cancel(self) -> None:
         self.cancelled = True
 
 
 class Timer:
-    """A scheduled callback executed in kernel context (non-blocking)."""
+    """A scheduled callback executed in kernel context (non-blocking).
+
+    Timer handles are returned to callers (who may hold them across
+    suspension points and cancel them much later), so timers are never
+    pooled — recycling one under a live handle would let a stale
+    ``cancel()`` kill an unrelated event.
+    """
 
     __slots__ = ("callback", "cancelled", "time")
+
+    is_timer = True
+    recycle = False
 
     def __init__(self, callback: Callable[[], None], time: float):
         self.callback = callback
@@ -108,6 +135,14 @@ class Kernel:
         self._control = threading.Event()  # thread -> kernel handshake
         self._closed = False
         self._failed: list = []  # threads that died with an exception
+        #: Free list of recyclable Wakeups (see :class:`Wakeup`).
+        self._wakeup_pool: list = []
+        #: Cancelled events still sitting in the heap (approximate:
+        #: counted where cancellation is cheap to observe).  When the
+        #: count dominates the heap the dispatch loop compacts, so a
+        #: workload cancelling far-future timeouts cannot degrade every
+        #: subsequent push/pop to O(log garbage).
+        self._cancelled = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -131,14 +166,54 @@ class Kernel:
 
     # -- scheduling -------------------------------------------------------
 
-    def schedule_wakeup(self, thread, delay: float, value: Any = None) -> Wakeup:
-        """Schedule ``thread`` to resume after ``delay`` virtual seconds."""
+    def schedule_wakeup(self, thread, delay: float, value: Any = None,
+                        recycle: bool = False) -> Wakeup:
+        """Schedule ``thread`` to resume after ``delay`` virtual seconds.
+
+        ``recycle=True`` is an optimisation contract offered by the
+        call site: it promises the returned handle is never retained
+        across a suspension point, letting the kernel pool the Wakeup
+        once it has been dispatched (or popped cancelled).
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        wakeup = Wakeup(thread, value, self._now + delay)
+        pool = self._wakeup_pool
+        if pool:
+            wakeup = pool.pop()
+            wakeup.thread = thread
+            wakeup.value = value
+            wakeup.time = self._now + delay
+            wakeup.cancelled = False
+            wakeup.recycle = recycle
+        else:
+            wakeup = Wakeup(thread, value, self._now + delay, recycle)
         heapq.heappush(self._heap, (wakeup.time, next(self._seq), wakeup))
         thread._pending.add(wakeup)
         return wakeup
+
+    def _reclaim(self, item) -> None:
+        """Return a recyclable event to the pool once it left the heap."""
+        if item.recycle and len(self._wakeup_pool) < _POOL_MAX:
+            item.thread = None
+            item.value = None
+            self._wakeup_pool.append(item)
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap in one O(n) pass.
+
+        Rebuilds in place (run loops hold a reference to the list), so
+        the ``(time, seq)`` dispatch order of live events is unchanged.
+        """
+        live = []
+        for entry in self._heap:
+            item = entry[2]
+            if item.cancelled:
+                self._reclaim(item)
+            else:
+                live.append(entry)
+        self._heap[:] = live
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Run ``callback`` in kernel context after ``delay`` seconds.
@@ -193,45 +268,87 @@ class Kernel:
         non-daemon threads remain blocked.
         """
         self._check_host_context()
-        while self._heap:
-            time = self._heap[0][0]
+        heap = self._heap
+        pop = heapq.heappop
+        fast = self.scheduler is None
+        while heap:
+            head = heap[0]
+            item = head[2]
+            if item.cancelled:
+                pop(heap)
+                self._reclaim(item)
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            time = head[0]
             if until is not None and time > until:
                 self._now = until
                 return
-            item = self._next_event()
-            if item is None:
-                continue
+            if fast:
+                pop(heap)
+            else:
+                item = self._next_event()
+                if item is None:
+                    continue
             self._now = time
-            if isinstance(item, Timer):
+            if item.is_timer:
                 item.callback()
             else:
                 self._dispatch(item)
+                self._reclaim(item)
+            if self._cancelled >= _COMPACT_MIN \
+                    and self._cancelled * 2 >= len(heap):
+                self._compact()
         self._detect_deadlock()
 
     def run_until(self, predicate: Callable[[], bool],
                   limit: float | None = None) -> None:
-        """Dispatch events until ``predicate()`` holds."""
+        """Dispatch events until ``predicate()`` holds.
+
+        With ``limit``, the head event's time is checked *before* it is
+        popped, so hitting the limit raises with the event still queued
+        — a later ``run``/``run_until`` call on the same kernel will
+        dispatch it.
+        """
         self._check_host_context()
+        heap = self._heap
+        pop = heapq.heappop
+        fast = self.scheduler is None
         while not predicate():
-            if not self._heap:
+            head = heap[0] if heap else None
+            if head is not None and head[2].cancelled:
+                pop(heap)
+                self._reclaim(head[2])
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            if head is None:
                 self._detect_deadlock()
                 if not predicate():
                     raise SimulationError(
                         "event queue drained before condition was met")
                 return
-            time = self._heap[0][0]
-            item = self._next_event()
-            if item is None:
-                continue
+            time = head[0]
             if limit is not None and time > limit:
                 self._now = limit
                 raise SimulationError(
                     f"condition not met by virtual time limit {limit}")
+            if fast:
+                item = head[2]
+                pop(heap)
+            else:
+                item = self._next_event()
+                if item is None:
+                    continue
             self._now = time
-            if isinstance(item, Timer):
+            if item.is_timer:
                 item.callback()
             else:
                 self._dispatch(item)
+                self._reclaim(item)
+            if self._cancelled >= _COMPACT_MIN \
+                    and self._cancelled * 2 >= len(heap):
+                self._compact()
 
     def _next_event(self):
         """Pop the event to dispatch next, or ``None`` to re-examine.
@@ -248,14 +365,21 @@ class Kernel:
         the caller re-peeks the heap.
         """
         time, seq, item = heapq.heappop(self._heap)
-        if getattr(item, "cancelled", False):
+        if item.cancelled:
+            self._reclaim(item)
+            if self._cancelled:
+                self._cancelled -= 1
             return None
         if self.scheduler is None:
             return item
         batch = [(seq, item)]
         while self._heap and self._heap[0][0] == time:
             _, other_seq, other = heapq.heappop(self._heap)
-            if not getattr(other, "cancelled", False):
+            if other.cancelled:
+                self._reclaim(other)
+                if self._cancelled:
+                    self._cancelled -= 1
+            else:
                 batch.append((other_seq, other))
         index, delay = self.scheduler.decide(time, batch)
         chosen_seq, chosen = batch.pop(index)

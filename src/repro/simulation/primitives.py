@@ -34,7 +34,7 @@ class Event:
         self._flag = True
         while self._waiters:
             waiter = self._waiters.popleft()
-            self.kernel.schedule_wakeup(waiter, 0.0, _NOTIFY)
+            self.kernel.schedule_wakeup(waiter, 0.0, _NOTIFY, recycle=True)
 
     def clear(self) -> None:
         self._flag = False
@@ -46,7 +46,7 @@ class Event:
         thread = current_thread()
         self._waiters.append(thread)
         if timeout is not None:
-            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT)
+            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT, recycle=True)
         value = thread._suspend()
         if value is TIMEOUT:
             try:
@@ -90,7 +90,7 @@ class Lock:
             raise SimulationError(f"{thread.name} re-acquired a non-reentrant lock")
         self._waiters.append(thread)
         if timeout is not None:
-            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT)
+            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT, recycle=True)
         value = thread._suspend()
         if value is TIMEOUT:
             if self._owner is thread:
@@ -115,7 +115,7 @@ class Lock:
         if self._waiters:
             successor = self._waiters.popleft()
             self._owner = successor
-            self.kernel.schedule_wakeup(successor, 0.0, _GRANT)
+            self.kernel.schedule_wakeup(successor, 0.0, _GRANT, recycle=True)
         else:
             self._owner = None
 
@@ -149,7 +149,7 @@ class Semaphore:
         entry = [thread, False]  # [thread, granted]
         self._waiters.append(entry)
         if timeout is not None:
-            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT)
+            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT, recycle=True)
         value = thread._suspend()
         if value is TIMEOUT and not entry[1]:
             try:
@@ -167,7 +167,7 @@ class Semaphore:
             entry = self._waiters.popleft()
             entry[1] = True
             self._permits -= 1
-            self.kernel.schedule_wakeup(entry[0], 0.0, _GRANT)
+            self.kernel.schedule_wakeup(entry[0], 0.0, _GRANT, recycle=True)
 
     def __enter__(self) -> "Semaphore":
         self.acquire()
@@ -209,7 +209,7 @@ class Condition:
         self._waiters.append(thread)
         self.lock.release()
         if timeout is not None:
-            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT)
+            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT, recycle=True)
         value = thread._suspend()
         notified = value is not TIMEOUT
         if not notified:
@@ -238,7 +238,7 @@ class Condition:
             raise SimulationError("Condition.notify() without holding the lock")
         for _ in range(min(count, len(self._waiters))):
             waiter = self._waiters.popleft()
-            self.kernel.schedule_wakeup(waiter, 0.0, _NOTIFY)
+            self.kernel.schedule_wakeup(waiter, 0.0, _NOTIFY, recycle=True)
 
     def notify_all(self) -> None:
         self.notify(len(self._waiters))
@@ -268,7 +268,7 @@ class Queue:
             entry = self._getters.popleft()
             entry[1] = item
             entry[2] = True
-            self.kernel.schedule_wakeup(entry[0], 0.0, _NOTIFY)
+            self.kernel.schedule_wakeup(entry[0], 0.0, _NOTIFY, recycle=True)
             return
         if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
@@ -276,7 +276,7 @@ class Queue:
         entry = [thread, item, False]
         self._putters.append(entry)
         if timeout is not None:
-            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT)
+            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT, recycle=True)
         value = thread._suspend()
         if value is TIMEOUT and not entry[2]:
             try:
@@ -295,12 +295,12 @@ class Queue:
                 entry = self._putters.popleft()
                 entry[2] = True
                 self._items.append(entry[1])
-                self.kernel.schedule_wakeup(entry[0], 0.0, _NOTIFY)
+                self.kernel.schedule_wakeup(entry[0], 0.0, _NOTIFY, recycle=True)
             return item
         entry = [thread, None, False]
         self._getters.append(entry)
         if timeout is not None:
-            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT)
+            self.kernel.schedule_wakeup(thread, timeout, TIMEOUT, recycle=True)
         value = thread._suspend()
         if value is TIMEOUT and not entry[2]:
             try:

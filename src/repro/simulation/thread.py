@@ -61,7 +61,7 @@ class SimThread:
         self._real = threading.Thread(
             target=self._bootstrap, name=f"sim:{self.name}", daemon=True)
         self._real.start()
-        self.kernel.schedule_wakeup(self, 0.0)
+        self.kernel.schedule_wakeup(self, 0.0, recycle=True)
         return self
 
     def _bootstrap(self) -> None:
@@ -77,12 +77,11 @@ class SimThread:
             self.exception = exc
         finally:
             self.done = True
-            for wakeup in self._pending:
-                wakeup.cancel()
-            self._pending.clear()
+            self._cancel_pending()
             if not self._shutdown:
                 for joiner in self._joiners:
-                    self.kernel.schedule_wakeup(joiner, 0.0, self)
+                    self.kernel.schedule_wakeup(joiner, 0.0, self,
+                                                recycle=True)
                 self._joiners.clear()
             self.kernel._unregister(self)
             if self.kernel.tracer.enabled:
@@ -110,15 +109,19 @@ class SimThread:
         return value
 
     def _cancel_pending(self) -> None:
-        for wakeup in self._pending:
-            wakeup.cancel()
-        self._pending.clear()
+        pending = self._pending
+        if not pending:
+            return
+        for wakeup in pending:
+            wakeup.cancelled = True
+        self.kernel._cancelled += len(pending)
+        pending.clear()
 
     # -- blocking API ----------------------------------------------------------
 
     def sleep(self, duration: float) -> None:
         """Advance this thread's virtual time by ``duration`` seconds."""
-        self.kernel.schedule_wakeup(self, duration)
+        self.kernel.schedule_wakeup(self, duration, recycle=True)
         self._suspend()
         self._cancel_pending()
 

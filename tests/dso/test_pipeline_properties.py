@@ -1,0 +1,104 @@
+"""Property-based tests: batched async shipping is order-transparent.
+
+Whatever mix of ``invoke_async`` and ``flush`` a client issues — and
+however the schedule-exploration scheduler interleaves the pump thread
+with the submitter — the object ends in exactly the state a purely
+sequential ``invoke`` stream would have produced.  Batching may merge
+round trips, but it must never reorder ops within a session.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dso import DsoLayer, DsoReference
+from repro.explore import RandomScheduler
+from repro.net import LatencyModel, Network
+from repro.simulation import Kernel
+from repro.simulation.thread import spawn
+
+
+class Log:
+    """Order-sensitive state machine: a strictly appended log."""
+
+    def __init__(self):
+        self.entries = []
+
+    def append(self, entry):
+        self.entries.append(entry)
+        return len(self.entries)
+
+    def snapshot(self):
+        return list(self.entries)
+
+
+REF = DsoReference("Log", "log", persistent=True, rf=2)
+CTOR = (Log, (), {})
+
+#: One client step: ship asynchronously, ship synchronously, or drain.
+STEP = st.sampled_from(["async", "sync", "flush"])
+
+
+def _run_plan(client_plans, scheduler=None):
+    """Execute per-client step plans; return the object's final log."""
+    with Kernel(seed=5, scheduler=scheduler) as kernel:
+        network = Network(kernel, LatencyModel(0.0001))
+        layer = DsoLayer(kernel, network)
+        for _ in range(2):
+            layer.add_node()
+
+        def client_thread(client, steps):
+            value = 0
+            for step in steps:
+                if step == "async":
+                    layer.invoke_async(client, REF, "append",
+                                       ((client, value),), ctor=CTOR)
+                    value += 1
+                elif step == "sync":
+                    layer.invoke(client, REF, "append",
+                                 ((client, value),), ctor=CTOR)
+                    value += 1
+                else:
+                    layer.flush(client)
+            layer.flush(client)
+
+        def main():
+            threads = [spawn(client_thread, client, steps)
+                       for client, steps in client_plans.items()]
+            for t in threads:
+                t.join()
+            return layer.invoke("auditor", REF, "snapshot", ctor=CTOR)
+
+        return kernel.run_main(main)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 9999),
+       steps=st.lists(STEP, min_size=1, max_size=12))
+def test_single_session_matches_sequential_invoke(seed, steps):
+    """One client: any async/flush interleaving produces the *exact*
+    final log of the all-sync plan, under FIFO and random schedules."""
+    sequential = _run_plan(
+        {"c1": ["sync" if s == "async" else s for s in steps]})
+    mixed_fifo = _run_plan({"c1": steps})
+    mixed_random = _run_plan(
+        {"c1": steps},
+        scheduler=RandomScheduler(seed=seed, preempt_prob=0.25))
+    assert mixed_fifo == sequential
+    assert mixed_random == sequential
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 9999),
+       steps_a=st.lists(STEP, min_size=1, max_size=8),
+       steps_b=st.lists(STEP, min_size=1, max_size=8))
+def test_concurrent_sessions_keep_per_session_order(seed, steps_a, steps_b):
+    """Two concurrent clients: the merged log restricted to either
+    session is that session's submission order — batching never
+    reorders within a session, whatever the global interleaving."""
+    log = _run_plan({"a": steps_a, "b": steps_b},
+                    scheduler=RandomScheduler(seed=seed, preempt_prob=0.25))
+    for client, steps in (("a", steps_a), ("b", steps_b)):
+        ops = sum(1 for s in steps if s != "flush")
+        mine = [value for owner, value in log if owner == client]
+        assert mine == list(range(ops))
+    assert len(log) == sum(1 for s in steps_a + steps_b if s != "flush")

@@ -155,6 +155,88 @@ def test_run_until_time_limit(kernel):
     assert fired == [1, 2]
 
 
+def test_run_until_limit_preserves_pending_event(kernel):
+    """Regression: hitting ``limit`` used to pop-and-drop the head event.
+
+    ``run_until`` popped via ``_next_event()`` *before* comparing the
+    event time against ``limit`` and raised without re-pushing, so a
+    kernel reused after catching the error had silently lost the event.
+    The limit must be checked against the peeked head, leaving it
+    queued for a later run.
+    """
+    fired = []
+    kernel.call_later(5.0, lambda: fired.append(kernel.now))
+    with pytest.raises(SimulationError, match="limit"):
+        kernel.run_until(lambda: bool(fired), limit=2.0)
+    assert kernel.now == 2.0
+    assert fired == []
+    # Resume the same kernel: the event must still be there and fire.
+    kernel.run_until(lambda: bool(fired))
+    assert fired == [5.0]
+
+
+def test_run_until_limit_repeated_raises_are_stable(kernel):
+    fired = []
+    kernel.call_later(5.0, lambda: fired.append(kernel.now))
+    for limit in (1.0, 2.0, 3.0):
+        with pytest.raises(SimulationError, match="limit"):
+            kernel.run_until(lambda: bool(fired), limit=limit)
+    kernel.run()
+    assert fired == [5.0]
+
+
+def test_wakeup_pool_reuses_events(kernel):
+    def main():
+        for _ in range(50):
+            sleep(0.001)
+
+    kernel.run_main(main)
+    # Steady-state sleeping recycles through the pool instead of
+    # allocating one Wakeup per suspension.
+    assert len(kernel._wakeup_pool) >= 1
+
+
+def test_timer_handles_are_never_pooled(kernel):
+    fired = []
+    stale = kernel.call_later(1.0, lambda: fired.append("a"))
+    kernel.run()
+    # Cancelling a long-dead timer handle must not affect later events.
+    kernel.call_later(1.0, lambda: fired.append("b"))
+    stale.cancel()
+    kernel.run()
+    assert fired == ["a", "b"]
+
+
+def test_cancelled_event_compaction_keeps_order(kernel):
+    from repro.simulation.kernel import _COMPACT_MIN
+
+    trace = []
+
+    def waiter(i):
+        # Each sleep(timeout-style) pattern: schedule a far-future
+        # wakeup then cancel it, leaving garbage in the heap.
+        from repro.simulation.kernel import current_thread
+
+        me = current_thread()
+        for _ in range(20):
+            h = kernel.schedule_wakeup(me, 1e6)
+            h.cancel()
+            kernel._cancelled += 1
+            me._pending.discard(h)
+        sleep(float(i % 7) * 0.1)
+        trace.append(i)
+
+    def main():
+        threads = [spawn(waiter, i) for i in range(2 * _COMPACT_MIN // 20)]
+        for t in threads:
+            t.join()
+
+    kernel.run_main(main)
+    assert sorted(trace) == list(range(2 * _COMPACT_MIN // 20))
+    # Compaction ran: the garbage did not accumulate unboundedly.
+    assert kernel._cancelled < 2 * _COMPACT_MIN
+
+
 def test_deadlock_detection(kernel):
     from repro.simulation import Event
 

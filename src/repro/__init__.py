@@ -33,7 +33,10 @@ Quickstart::
 — plus the observability entry points (``Tracer``, ``trace_enabled``
 and the exporters in :mod:`repro.trace`) and the correctness tooling
 (``ExplorationRunner`` and the schedulers of :mod:`repro.explore`,
-``LinearizabilityChecker``/``HistoryRecorder``) — is re-exported here, and
+``LinearizabilityChecker``/``HistoryRecorder``) and the storage layer
+(the ``StorageBackend`` protocol, the priced tiers, ``TieredStore``
+and the ``CostLedger``/``cost_summary`` accounting) — is re-exported
+here, and
 only names listed in ``__all__`` are covered by compatibility
 guarantees.  The ``repro.core.*``, ``repro.simulation.*``,
 ``repro.faas.*``, ``repro.dso.*`` ... submodules are internal:
@@ -81,6 +84,17 @@ from repro.linearizability import (
     LinearizabilityChecker,
     Operation,
 )
+from repro.metrics import BackendBill, CostLedger, cost_summary
+from repro.storage import (
+    BackendProfile,
+    BlockStore,
+    DataGrid,
+    MemoryStore,
+    ObjectStore,
+    RedisCluster,
+    StorageBackend,
+    TieredStore,
+)
 from repro.trace import (
     Span,
     TraceContext,
@@ -92,7 +106,7 @@ from repro.trace import (
     write_chrome_trace,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Config",
@@ -132,6 +146,17 @@ __all__ = [
     "HistoryRecorder",
     "LinearizabilityChecker",
     "Operation",
+    "StorageBackend",
+    "BackendProfile",
+    "ObjectStore",
+    "BlockStore",
+    "MemoryStore",
+    "TieredStore",
+    "DataGrid",
+    "RedisCluster",
+    "CostLedger",
+    "BackendBill",
+    "cost_summary",
     "Tracer",
     "Span",
     "TraceContext",

@@ -314,6 +314,60 @@ class ComputeCosts:
 
 
 # ---------------------------------------------------------------------------
+# Storage tiers (HW_PARAMETERS seed data: S3 vs gp3 vs in-memory)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TieringSettings:
+    """Price/latency parameters of the storage tiers, plus the
+    heat/migration policy knobs of :class:`repro.storage.TieredStore`.
+
+    The tier numbers are seeded from the ``HW_PARAMETERS`` table used
+    in serverless-database cost modelling: S3 at 100-200 ms and
+    $0.023/GB-month plus per-request fees, gp3 block volumes at 1-2 ms
+    and $0.081/GB-month with free requests and a 125 MB/s throughput
+    cap.  The in-memory tier prices RAM at the r5.2xlarge rate
+    ($0.504/h for 64 GB: ~$5.75/GB-month) with grid-grade latency —
+    the Table 3 economics (memory is ~250x dearer per GB than S3, and
+    ~4 orders of magnitude faster per request) in one table.
+    """
+
+    #: gp3 block tier: 1-2 ms per request, free requests, throughput
+    #: capped at 125 MB/s.
+    gp3_get: LatencyModel = LatencyModel(1.4 * MILLIS, sigma=0.12,
+                                         bandwidth=125e6)
+    gp3_put: LatencyModel = LatencyModel(1.6 * MILLIS, sigma=0.12,
+                                         bandwidth=125e6)
+    gp3_dollars_per_gb_month: float = 0.081
+    #: In-memory tier next to compute: same 100 us hops as the data
+    #: grid plus a few us of service.
+    memory_get: LatencyModel = LatencyModel(207 * MICROS, sigma=0.05,
+                                            bandwidth=1.2e9)
+    memory_put: LatencyModel = LatencyModel(228 * MICROS, sigma=0.05,
+                                            bandwidth=1.2e9)
+    #: RAM rent at the r5.2xlarge rate: 0.504 $/h / 64 GB * 730 h.
+    memory_dollars_per_gb_month: float = 5.75
+    #: S3 capacity price (requests are priced in AwsPrices).
+    s3_dollars_per_gb_month: float = 0.023
+
+    # -- TieredStore heat/migration policy ---------------------------------
+    #: Bytes the hot tier may hold before the sweeper demotes the
+    #: least-recently-used objects to the next tier.
+    hot_capacity_bytes: int = 64 * 10 ** 6
+    #: Idle time after which an object is demotion-eligible even when
+    #: the hot tier has room (cold data should not pay memory rent).
+    demote_after: float = 30.0
+    #: Accesses within the heat window that promote a cold object back
+    #: next to compute.
+    promote_hits: int = 2
+    #: Sliding window over which accesses count toward promotion.
+    heat_window: float = 10.0
+    #: Period of the background migration sweep.
+    sweep_period: float = 5.0
+
+
+# ---------------------------------------------------------------------------
 # Dataset (Section 6.2.2)
 # ---------------------------------------------------------------------------
 
@@ -342,6 +396,7 @@ class Config:
     prices: AwsPrices = field(default_factory=AwsPrices)
     compute: ComputeCosts = field(default_factory=ComputeCosts)
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    tiering: TieringSettings = field(default_factory=TieringSettings)
 
 
 DEFAULT_CONFIG = Config()

@@ -18,6 +18,7 @@ from repro.config import Config, DEFAULT_CONFIG
 from repro.dso.layer import DsoLayer
 from repro.errors import SimulationError
 from repro.faas.platform import FaasPlatform, FunctionContext
+from repro.metrics.cost import CostLedger
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.simulation.kernel import Kernel
@@ -114,7 +115,13 @@ class CrucialEnvironment:
         # reclaims a container (keep-alive expiry, chaos kill), the DSO
         # layer drops that endpoint's leased-snapshot cache.
         self.platform.on_container_reclaim(self.dso.drop_endpoint_cache)
-        self.object_store = ObjectStore(self.kernel, config)
+        #: One account for the whole deployment: every storage backend
+        #: created by this environment bills into it, and
+        #: ``repro.metrics.cost_summary(env.cost_ledger)`` renders the
+        #: per-tier split.
+        self.cost_ledger = CostLedger()
+        self.object_store = ObjectStore(self.kernel, config,
+                                        ledger=self.cost_ledger)
         self.queue_service = QueueService(self.kernel, config)
         self.notification = NotificationService(
             self.kernel, self.queue_service, config)
@@ -124,6 +131,7 @@ class CrucialEnvironment:
                              memory_mb=function_memory_mb)
         self._data_grid = None
         self._redis = None
+        self._tiered_store = None
         self._previous_env: CrucialEnvironment | None = None
 
     def data_grid(self, nodes: int = 1):
@@ -143,6 +151,21 @@ class CrucialEnvironment:
             self._redis = RedisCluster(self.kernel, self.network,
                                        shards=shards, config=self.config)
         return self._redis
+
+    def tiered_store(self):
+        """Heat-tracked tiered storage (created on first use): an
+        in-memory hot tier stacked over this environment's object
+        store, both billing into ``cost_ledger``."""
+        if self._tiered_store is None:
+            from repro.storage.backend import MemoryStore
+            from repro.storage.tiering import TieredStore
+
+            hot = MemoryStore(self.kernel, self.config, name="memory",
+                              ledger=self.cost_ledger)
+            self._tiered_store = TieredStore(
+                self.kernel, [hot, self.object_store], self.config,
+                ledger=self.cost_ledger)
+        return self._tiered_store
 
     # -- the generic runner function -------------------------------------------
 

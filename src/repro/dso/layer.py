@@ -64,6 +64,7 @@ from repro.errors import (
 )
 from repro.net.network import Network, ship
 from repro.simulation.kernel import Kernel, current_thread
+from repro.storage.backend import StorageBackend
 
 
 class ServerObject:
@@ -761,9 +762,14 @@ on_container_reclaim` so cache lifetime equals container lifetime:
     # storage using standard mechanisms (marshalling)")
     # ------------------------------------------------------------------
 
-    def passivate(self, client: str, ref: DsoReference, store) -> str:
-        """Marshal a shared object into the object store.
+    def passivate(self, client: str, ref: DsoReference,
+                  store: "StorageBackend") -> str:
+        """Marshal a shared object into stable storage.
 
+        ``store`` is any :class:`~repro.storage.backend.
+        StorageBackend` — the S3-like object store, a gp3 block
+        volume, or a :class:`~repro.storage.tiering.TieredStore`;
+        the backend charges its own write latency and request fee.
         Returns the storage key.  The object stays live in memory;
         passivation is a checkpoint, from which :meth:`restore` can
         re-create the object after the layer lost it.
@@ -780,8 +786,8 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                         ship(container.sessions)))
         return key
 
-    def restore(self, client: str, ref: DsoReference, store,
-                key: str | None = None) -> None:
+    def restore(self, client: str, ref: DsoReference,
+                store: "StorageBackend", key: str | None = None) -> None:
         """Re-create a shared object from a passivated snapshot."""
         if key is None:
             key = f"__dso__/{ref.type_name}/{ref.key}"

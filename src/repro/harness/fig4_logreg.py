@@ -18,7 +18,7 @@ from repro.ml.logreg import CrucialLogisticRegression
 from repro.net import LatencyModel, Network
 from repro.simulation.kernel import Kernel
 from repro.sparklike import LogisticRegressionWithSGD, SparkCluster
-from repro.storage.object_store import ObjectStore
+from repro.storage import ObjectStore
 
 PAPER_CRUCIAL_ITER = 62.3
 PAPER_SPARK_ITER = 75.9

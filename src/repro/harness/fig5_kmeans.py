@@ -19,7 +19,7 @@ from repro.ml.redis_kmeans import RedisKMeans
 from repro.net import LatencyModel, Network
 from repro.simulation.kernel import Kernel
 from repro.sparklike import KMeansMLlib, SparkCluster
-from repro.storage.object_store import ObjectStore
+from repro.storage import ObjectStore
 
 #: Paper values for the 10-iteration phase at k=25, seconds.
 PAPER_K25 = {"crucial": 20.4, "spark": 34.0}

@@ -106,12 +106,9 @@ def run(threads: int = 10, iterations: int = 5,
         tracer = env.kernel.tracer
 
         def main():
-            from repro.storage.object_store import _StoredObject
-
             for i in range(threads):
-                env.object_store._objects[f"input-{i}"] = _StoredObject(
-                    value=b"", nbytes=INPUT_BYTES, put_time=0.0,
-                    visible_at=0.0)
+                env.object_store.seed(f"input-{i}", b"",
+                                      nbytes=INPUT_BYTES)
             env.pre_warm(threads)
 
             # Approach (a): one stage per iteration.

@@ -1,10 +1,11 @@
 """Measurement and reporting: time series, AWS costs, result tables."""
 
 from repro.metrics.recorder import ThroughputTracker, TimeSeries, percentile
-from repro.metrics.cost import CostModel, ExperimentCost
+from repro.metrics.cost import BackendBill, CostLedger, CostModel, ExperimentCost
 from repro.metrics.report import (
     cache_summary,
     comparison_table,
+    cost_summary,
     fault_summary,
     render_table,
 )
@@ -13,10 +14,13 @@ __all__ = [
     "TimeSeries",
     "ThroughputTracker",
     "percentile",
+    "BackendBill",
+    "CostLedger",
     "CostModel",
     "ExperimentCost",
     "render_table",
     "comparison_table",
+    "cost_summary",
     "fault_summary",
     "cache_summary",
 ]

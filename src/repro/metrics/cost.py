@@ -1,16 +1,98 @@
-"""The Table 3 monetary-cost model (2019 on-demand AWS prices).
+"""Monetary-cost models: the Table 3 experiment bill and the
+per-backend storage ledger.
 
-Crucial's bill: Lambda GB-seconds + requests, plus the DSO storage
-instance(s) for the experiment duration.  Spark's bill: the EMR
-cluster (EC2 + EMR surcharge) for the experiment duration.  As in the
-paper, provisioning time is not billed and the free tier is ignored.
+:class:`CostModel` prices whole experiments (2019 on-demand AWS
+rates): Lambda GB-seconds + requests, plus the DSO storage instance(s)
+for Crucial; the EMR cluster for Spark.  As in the paper, provisioning
+time is not billed and the free tier is ignored.
+
+:class:`CostLedger` is the storage-tier ledger behind the pluggable
+backend API (:mod:`repro.storage.backend`): every request accrues its
+per-request fee, and capacity rent accrues as a byte-seconds integral
+over virtual time, per backend — so tiered-placement policies can be
+compared in dollars, not just microseconds
+(:func:`repro.metrics.report.cost_summary` renders it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.config import Config, DEFAULT_CONFIG
+
+
+@dataclass
+class BackendBill:
+    """Accumulated dollars for one storage backend."""
+
+    backend: str
+    tier: str
+    requests: int = 0
+    request_dollars: float = 0.0
+    byte_seconds: float = 0.0
+    storage_dollars: float = 0.0
+
+    @property
+    def total_dollars(self) -> float:
+        return self.request_dollars + self.storage_dollars
+
+
+@dataclass
+class CostLedger:
+    """Per-backend request fees + capacity rent, in one account.
+
+    Backends report into the ledger as they serve traffic
+    (:meth:`request`) and as data rests on them (:meth:`occupancy`);
+    :meth:`settle` asks every attached backend to accrue rent up to
+    the current virtual time, so totals read mid-run are exact.  One
+    ledger may serve many backends (a :class:`~repro.storage.tiering.
+    TieredStore` shares one across its tiers), keyed by backend name.
+    """
+
+    bills: dict[str, BackendBill] = field(default_factory=dict)
+    _backends: list = field(default_factory=list, repr=False)
+
+    def attach(self, backend) -> None:
+        """Register ``backend`` for :meth:`settle` sweeps."""
+        if backend not in self._backends:
+            self._backends.append(backend)
+
+    def bill_for(self, name: str, tier: str = "object") -> BackendBill:
+        bill = self.bills.get(name)
+        if bill is None:
+            bill = self.bills[name] = BackendBill(backend=name, tier=tier)
+        return bill
+
+    def request(self, name: str, tier: str, dollars: float,
+                count: int = 1) -> None:
+        """Accrue ``count`` requests costing ``dollars`` in total."""
+        bill = self.bill_for(name, tier)
+        bill.requests += count
+        bill.request_dollars += dollars
+
+    def occupancy(self, name: str, tier: str, byte_seconds: float,
+                  dollars: float) -> None:
+        """Accrue capacity rent for ``byte_seconds`` of occupancy."""
+        bill = self.bill_for(name, tier)
+        bill.byte_seconds += byte_seconds
+        bill.storage_dollars += dollars
+
+    def settle(self) -> None:
+        """Flush every attached backend's pending rent accrual."""
+        for backend in self._backends:
+            backend.settle()
+
+    @property
+    def request_dollars(self) -> float:
+        return sum(b.request_dollars for b in self.bills.values())
+
+    @property
+    def storage_dollars(self) -> float:
+        return sum(b.storage_dollars for b in self.bills.values())
+
+    @property
+    def total_dollars(self) -> float:
+        return sum(b.total_dollars for b in self.bills.values())
 
 
 @dataclass(frozen=True)

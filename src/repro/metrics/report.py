@@ -87,6 +87,34 @@ def cache_summary(stats, title: str = "dso read cache") -> str:
     return render_table(["counter", "value"], rows, title=title)
 
 
+def cost_summary(ledger, title: str = "storage cost ledger") -> str:
+    """Render a :class:`repro.metrics.cost.CostLedger` per backend.
+
+    Settles pending capacity rent first, then shows each backend's
+    request count, request dollars, GB-hours of occupancy, capacity
+    rent, and total — followed by an account-wide total row — so a
+    harness can print what a placement policy actually cost.
+    """
+    ledger.settle()
+    rows = []
+    for name in sorted(ledger.bills):
+        bill = ledger.bills[name]
+        rows.append((name, bill.tier, bill.requests,
+                     f"${bill.request_dollars:.6f}",
+                     f"{bill.byte_seconds / 1e9 / 3600.0:.4g}",
+                     f"${bill.storage_dollars:.6f}",
+                     f"${bill.total_dollars:.6f}"))
+    rows.append(("total", "-",
+                 sum(b.requests for b in ledger.bills.values()),
+                 f"${ledger.request_dollars:.6f}", "-",
+                 f"${ledger.storage_dollars:.6f}",
+                 f"${ledger.total_dollars:.6f}"))
+    return render_table(
+        ["backend", "tier", "requests", "request $", "GB-hours",
+         "storage $", "total $"],
+        rows, title=title)
+
+
 def trace_summary(tracer, max_depth: int = 6,
                   min_duration: float = 0.0,
                   title: str = "trace summary") -> str:

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.ml import math as mlmath
-from repro.storage.object_store import ObjectStore
+from repro.storage.backend import StorageBackend
 
 
 @dataclass(frozen=True)
@@ -100,10 +100,11 @@ class MLDataset:
         self._cache[index] = data
         return data
 
-    def upload(self, store: ObjectStore) -> list[PartitionInfo]:
-        """PUT all partitions to the object store at nominal size.
+    def upload(self, store: StorageBackend) -> list[PartitionInfo]:
+        """PUT all partitions to the store at nominal size.
 
-        Must run inside a simulated thread (charges S3 latencies).
+        Must run inside a simulated thread (charges the backend's
+        write latencies and request fees).
         """
         infos = []
         for index in range(self.partitions):
@@ -113,18 +114,15 @@ class MLDataset:
             infos.append(info)
         return infos
 
-    def install(self, store: ObjectStore) -> list[PartitionInfo]:
+    def install(self, store: StorageBackend) -> list[PartitionInfo]:
         """Place partitions in the store *without* charging upload
         time (the dataset pre-exists the experiment, as in the paper).
+        Capacity rent still accrues from now on.
         """
-        from repro.storage.object_store import _StoredObject
-
         infos = []
         for index in range(self.partitions):
             info = self.partition_info(index)
-            store._objects[info.key] = _StoredObject(
-                value=self.materialize(index),
-                nbytes=info.nominal_bytes,
-                put_time=0.0, visible_at=0.0)
+            store.seed(info.key, self.materialize(index),
+                       nbytes=info.nominal_bytes)
             infos.append(info)
         return infos

@@ -1,11 +1,15 @@
 """The PyWren execution model over the simulated cloud.
 
 ``map(fn, args)`` fires one asynchronous function invocation per
-argument; every invocation writes its (pickled) result to the object
-store under a run-scoped key; ``wait``/``get_result`` poll the store's
-*listing* until results appear — inheriting S3's latency and its
-eventually-consistent visibility, which is why PyWren-style
-synchronization is slow and variable (Fig. 6).
+argument; every invocation writes its (pickled) result to storage
+under a run-scoped key; ``wait``/``get_result`` poll the store's
+*listing* until results appear.  The store is any
+:class:`~repro.storage.backend.StorageBackend`; over the default
+S3-like backend this inherits S3's latency and eventually-consistent
+visibility, which is why PyWren-style synchronization is slow and
+variable (Fig. 6) — running the same executor over a
+:class:`~repro.storage.tiering.TieredStore` trades that latency
+against the hot tier's RAM rent.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import NoSuchKeyError
 from repro.faas.platform import FaasPlatform, FunctionContext
-from repro.storage.object_store import ObjectStore
+from repro.storage.backend import StorageBackend
 
 ALL_COMPLETED = "ALL_COMPLETED"
 ANY_COMPLETED = "ANY_COMPLETED"
@@ -30,7 +34,7 @@ class ResponseFuture:
     """A handle to one invocation's storage-mediated result."""
 
     key: str
-    store: ObjectStore
+    store: StorageBackend
     _value: Any = field(default=None, repr=False)
     _fetched: bool = False
 
@@ -72,7 +76,7 @@ class PyWrenExecutor:
 
     _runner_ids = itertools.count()
 
-    def __init__(self, platform: FaasPlatform, store: ObjectStore,
+    def __init__(self, platform: FaasPlatform, store: StorageBackend,
                  invoker: str = "client", memory_mb: int = 1792,
                  run_id: str | None = None):
         self.platform = platform

@@ -21,7 +21,7 @@ from repro.ml.dataset import MLDataset
 from repro.simulation.kernel import current_thread
 from repro.sparklike.cluster import SparkCluster
 from repro.sparklike.rdd import RDD
-from repro.storage.object_store import ObjectStore
+from repro.storage import ObjectStore
 
 
 def read_dataset(cluster: SparkCluster, dataset: MLDataset,

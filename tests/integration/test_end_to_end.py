@@ -12,7 +12,7 @@ from repro.ml.redis_kmeans import RedisKMeans
 from repro.net import LatencyModel, Network
 from repro.simulation.kernel import Kernel
 from repro.sparklike import KMeansMLlib, LogisticRegressionWithSGD, SparkCluster
-from repro.storage.object_store import ObjectStore
+from repro.storage import ObjectStore
 
 WORKERS = 6
 SMALL = dict(partitions=WORKERS, materialized_points=3000,

@@ -8,7 +8,7 @@ from repro.net import LatencyModel, Network
 from repro.simulation import Kernel
 from repro.sparklike import KMeansMLlib, LogisticRegressionWithSGD, SparkCluster
 from repro.sparklike.mllib import read_dataset
-from repro.storage.object_store import ObjectStore
+from repro.storage import ObjectStore
 
 SMALL = dict(partitions=4, materialized_points=2000,
              nominal_points=50_000, nominal_bytes=10 ** 7)

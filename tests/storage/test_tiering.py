@@ -1,0 +1,223 @@
+"""TieredStore: placement, heat-driven migration, and the no-lost-
+writes guarantee under concurrent puts."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import NoSuchKeyError
+from repro.metrics.cost import CostLedger
+from repro.simulation import Kernel
+from repro.simulation.thread import sleep
+from repro.storage import MemoryStore, ObjectStore, TieredStore
+
+
+def config_with(**tiering_overrides):
+    return dataclasses.replace(
+        DEFAULT_CONFIG,
+        tiering=dataclasses.replace(DEFAULT_CONFIG.tiering,
+                                    **tiering_overrides))
+
+
+@pytest.fixture
+def kernel():
+    with Kernel(seed=41) as k:
+        yield k
+
+
+def make_tiered(kernel, config=DEFAULT_CONFIG, ledger=None):
+    ledger = ledger if ledger is not None else CostLedger()
+    hot = MemoryStore(kernel, config, name="memory", ledger=ledger)
+    cold = ObjectStore(kernel, config, name="s3", ledger=ledger)
+    return TieredStore(kernel, [hot, cold], config, ledger=ledger)
+
+
+def test_put_lands_hot_seed_lands_cold(kernel):
+    store = make_tiered(kernel)
+
+    def main():
+        store.put("written", 1)
+        store.seed("dataset", 2)
+        assert store.tier_of("written") == 0
+        assert store.tier_of("dataset") == 1
+        assert store.get("written") == 1
+        assert store.get("dataset") == 2
+
+    kernel.run_main(main)
+    assert store.tiers[0].size() == 1
+    assert store.tiers[1].size() == 1
+
+
+def test_idle_keys_demote_and_stay_readable(kernel):
+    config = config_with(demote_after=5.0, sweep_period=1.0)
+    store = make_tiered(kernel, config)
+
+    def main():
+        store.start_sweeper()
+        store.put("k", b"x" * 64)
+        sleep(10.0)
+        assert store.tier_of("k") == 1  # swept down to the cold tier
+        assert store.get("k") == b"x" * 64
+
+    kernel.run_main(main)
+    assert store.tiering.demotions == 1
+    # The hot copy is gone: no double residency, no double rent.
+    assert store.tiers[0].size() == 0
+    assert store.tiers[1].size() == 1
+
+
+def test_hot_keys_promote_after_repeated_access(kernel):
+    config = config_with(promote_hits=3, heat_window=100.0)
+    store = make_tiered(kernel, config)
+
+    def main():
+        store.seed("k", "v")
+        for _ in range(2):
+            store.get("k")
+        sleep(1.0)
+        assert store.tier_of("k") == 1  # two hits: not hot yet
+        store.get("k")  # third hit crosses the threshold
+        sleep(1.0)
+        assert store.tier_of("k") == 0
+        assert store.get("k") == "v"
+
+    kernel.run_main(main)
+    assert store.tiering.promotions == 1
+    assert store.tiers[1].size() == 0
+
+
+def test_capacity_eviction_is_lru(kernel):
+    config = config_with(hot_capacity_bytes=150, demote_after=3600.0)
+    store = make_tiered(kernel, config)
+
+    def main():
+        store.put("old", b"x" * 100)
+        sleep(1.0)
+        store.put("new", b"y" * 100)
+        sleep(1.0)
+        store.get("old")  # "new" is now the least recently used
+        store.sweep()
+        sleep(1.0)
+        return store.tier_of("old"), store.tier_of("new")
+
+    old_tier, new_tier = kernel.run_main(main)
+    assert old_tier == 0
+    assert new_tier == 1
+
+
+def test_concurrent_put_during_demotion_is_not_lost(kernel):
+    """The no-lost-writes guard: a put racing the migration's copy
+    window wins, and the migration abandons its stale copy."""
+    config = config_with(demote_after=1.0)
+    store = make_tiered(kernel, config)
+
+    def main():
+        store.put("k", "v0")
+        sleep(2.0)
+        store.demote("k")  # migration copies v0 toward the cold tier
+        store.put("k", "v1")  # lands while the copy is in flight
+        sleep(5.0)  # let the migration finish/abort
+        assert store.get("k") == "v1"
+        # And nothing stale serves after another round trip either.
+        sleep(5.0)
+        assert store.get("k") == "v1"
+
+    kernel.run_main(main)
+    assert store.tiering.aborted_migrations == 1
+    assert store.tiering.demotions == 0
+    # Exactly one resident copy of the surviving value.
+    assert store.tiers[0].size() + store.tiers[1].size() == 1
+
+
+def test_migrations_emit_spans(kernel):
+    kernel.enable_tracing()
+    config = config_with(demote_after=1.0, promote_hits=2,
+                         heat_window=100.0)
+    store = make_tiered(kernel, config)
+
+    def main():
+        store.put("k", 1)
+        sleep(2.0)
+        store.demote("k")
+        sleep(1.0)
+        store.get("k")
+        store.get("k")  # second hit promotes
+        sleep(1.0)
+
+    kernel.run_main(main)
+    names = [span.name for span in kernel.tracer.spans]
+    demote = [s for s in kernel.tracer.spans if s.name == "storage.demote"]
+    promote = [s for s in kernel.tracer.spans
+               if s.name == "storage.promote"]
+    assert len(demote) == 1 and len(promote) == 1, names
+    assert demote[0].attributes["key"] == "k"
+    assert demote[0].attributes["from"] == "memory"
+    assert demote[0].attributes["to"] == "s3"
+    assert promote[0].attributes["from"] == "s3"
+    assert promote[0].attributes["to"] == "memory"
+
+
+def test_shared_ledger_splits_rent_by_tier(kernel):
+    ledger = CostLedger()
+    config = config_with(demote_after=5.0, sweep_period=1.0)
+    store = make_tiered(kernel, config, ledger=ledger)
+
+    def main():
+        store.start_sweeper()
+        store.put("k", b"", nbytes=10**6)
+        sleep(100.0)
+
+    kernel.run_main(main)
+    ledger.settle()
+    memory_bill = ledger.bills["memory"]
+    s3_bill = ledger.bills["s3"]
+    # Rent accrued on both tiers: RAM until the demotion, S3 after.
+    assert memory_bill.byte_seconds > 0
+    assert s3_bill.byte_seconds > 0
+    # The data spent most of the run on the *cheap* tier.
+    assert s3_bill.byte_seconds > memory_bill.byte_seconds
+    assert memory_bill.storage_dollars > s3_bill.storage_dollars  # RAM is dearer
+
+
+def test_list_prefix_unions_tiers(kernel):
+    store = make_tiered(kernel)
+
+    def main():
+        store.put("a/hot", 1)
+        store.seed("a/cold", 2)
+        sleep(DEFAULT_CONFIG.storage.s3_visibility_lag + 0.1)
+        return store.list_prefix("a/")
+
+    assert kernel.run_main(main) == ["a/cold", "a/hot"]
+
+
+def test_delete_routes_to_owning_tier(kernel):
+    store = make_tiered(kernel)
+
+    def main():
+        store.put("k", 1)
+        store.delete("k")
+        with pytest.raises(NoSuchKeyError):
+            store.get("k")
+
+    kernel.run_main(main)
+    assert store.size() == 0
+
+
+def test_effective_capacity_price_tracks_placement(kernel):
+    config = config_with(demote_after=5.0, sweep_period=1.0)
+    store = make_tiered(kernel, config)
+    hot_price = store.tiers[0].profile.dollars_per_gb_month
+    cold_price = store.tiers[1].profile.dollars_per_gb_month
+
+    def main():
+        store.put("k", b"x" * 1000)
+        all_hot = store.dollars_per_gb_month()
+        store.start_sweeper()
+        sleep(20.0)
+        return all_hot, store.dollars_per_gb_month()
+
+    all_hot, after_demotion = kernel.run_main(main)
+    assert all_hot == pytest.approx(hot_price)
+    assert after_demotion == pytest.approx(cold_price)

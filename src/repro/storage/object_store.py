@@ -25,7 +25,8 @@ are GET-class requests in S3's pricing — into a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from types import MappingProxyType
+from typing import Any, Mapping
 from warnings import warn
 
 from repro.config import Config, DEFAULT_CONFIG
@@ -78,16 +79,17 @@ class ObjectStore:
         return self.stats.lists + self.stats.heads
 
     @property
-    def _objects(self) -> dict[str, _StoredObject]:
-        """Deprecated: reach into the private blob map.
+    def _objects(self) -> Mapping[str, _StoredObject]:
+        """Deprecated: read-only view of the private blob map.
 
-        Install pre-existing data with :meth:`seed` instead — it keeps
-        the capacity-rent accounting consistent.
+        Install pre-existing data with :meth:`seed` instead.  The view
+        refuses mutation — writes through it would bypass the
+        capacity-rent accounting behind :meth:`stored_bytes`.
         """
         warn("ObjectStore._objects is deprecated; use seed() to install "
              "data and the public API to read it", DeprecationWarning,
              stacklevel=2)
-        return self._blobs
+        return MappingProxyType(self._blobs)
 
     # -- billing ------------------------------------------------------------
 

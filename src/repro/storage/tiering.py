@@ -14,15 +14,24 @@ spans.
 
 Correctness under concurrency and faults:
 
-* **No lost writes during migration.**  A migration snapshots the
-  key's version, copies source → destination, and only re-routes (and
-  deletes the source copy) if no write raced it; a concurrent ``put``
-  bumps the version, the migration aborts, and the fresh value wins.
+* **No lost writes during migration.**  Every mutation of a key's
+  placement — a ``put`` installing a fresh value, a migration
+  committing, a superseded copy being evicted — runs under that key's
+  FIFO write lock.  A migration snapshots the key's version, copies
+  the value out of the source tier *outside* the lock, then validates
+  the snapshot, writes the destination, re-routes, and deletes the
+  source copy in one locked critical section: a concurrent ``put``
+  either lands before validation (the migration aborts without ever
+  writing its stale copy) or blocks until the eviction has finished
+  (so the eviction can never delete a value it did not validate).
 * **Read-after-write across tier failure.**  If the tier that owns a
   key stops answering (a crashed grid node mid-demotion, say), reads
   fall back to the remaining tiers in order — the migration's
   destination copy, written *before* the source copy is deleted,
-  keeps acknowledged data readable.
+  keeps acknowledged data readable.  A read that finds the key gone
+  from the tier it started on re-checks the routing table and retries
+  on the key's new home, so an eviction landing mid-read never
+  surfaces a spurious miss for a key that still exists.
 
 The store itself satisfies the backend protocol, so anything written
 against :class:`~repro.storage.backend.StorageBackend` — the PyWren
@@ -40,6 +49,7 @@ from repro.errors import NetworkError, NoSuchKeyError, NodeCrashedError
 from repro.metrics.cost import CostLedger
 from repro.net.network import payload_size
 from repro.simulation.kernel import Kernel, current_thread
+from repro.simulation.primitives import Lock
 from repro.storage.backend import BackendProfile, BackendStats, StorageBackend
 
 #: Infrastructure failures a tier may surface (vs. app-level misses).
@@ -114,6 +124,10 @@ class TieredStore:
         self._versions: dict[str, int] = {}
         self._nbytes: dict[str, int] = {}
         self._migrating: set[str] = set()
+        #: Per-key write locks serializing installs, migrations, and
+        #: evictions (retained for the life of the store — bounded by
+        #: the keyspace, like ``_versions``).
+        self._locks: dict[str, Lock] = {}
         self._sweeping = False
 
     # -- placement bookkeeping ----------------------------------------------
@@ -139,6 +153,12 @@ class TieredStore:
         self._versions.pop(key, None)
         self._nbytes.pop(key, None)
 
+    def _lock(self, key: str) -> Lock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = Lock(self.kernel)
+        return lock
+
     # -- data path ----------------------------------------------------------
 
     def put(self, key: str, value: Any, nbytes: int | None = None) -> None:
@@ -151,21 +171,22 @@ class TieredStore:
         """
         if nbytes is None:
             nbytes = payload_size(value)
-        old_tier = self._where.get(key)
         last_error: Exception | None = None
-        for index, tier in enumerate(self.tiers):
-            try:
-                tier.put(key, value, nbytes=nbytes)
-            except _INFRA as exc:
-                last_error = exc
-                continue
-            self._route(key, index, nbytes)
-            self._touch(key)
-            self.stats.puts += 1
-            self.stats.bytes_written += nbytes
-            if old_tier is not None and old_tier != index:
-                self._evict_copy(key, old_tier)
-            return
+        with self._lock(key):
+            old_tier = self._where.get(key)
+            for index, tier in enumerate(self.tiers):
+                try:
+                    tier.put(key, value, nbytes=nbytes)
+                except _INFRA as exc:
+                    last_error = exc
+                    continue
+                self._route(key, index, nbytes)
+                self._touch(key)
+                self.stats.puts += 1
+                self.stats.bytes_written += nbytes
+                if old_tier is not None and old_tier != index:
+                    self._unlocked_evict(key, old_tier)
+                return
         raise last_error if last_error is not None else \
             NetworkError(f"{self.name}: no tier accepted {key!r}")
 
@@ -177,10 +198,26 @@ class TieredStore:
             # Unknown key: one honest miss round trip on the cold tier.
             self.stats.gets += 1
             return self.tiers[-1].get(key)
-        try:
-            value = self.tiers[owner].get(key)
-        except _INFRA:
-            value = self._fallback_read(key, owner)
+        for _attempt in range(len(self.tiers) + 1):
+            try:
+                value = self.tiers[owner].get(key)
+                break
+            except _INFRA:
+                value = self._fallback_read(key, owner)
+                owner = self._where.get(key, owner)
+                break
+            except NoSuchKeyError:
+                # A migration's eviction may land while this read was
+                # in flight on the source tier: if the key is still
+                # routed — just somewhere else now — retry on its new
+                # home instead of surfacing a spurious miss.
+                moved = self._where.get(key)
+                if moved is None or moved == owner:
+                    raise  # deleted, or the tier truly lost the blob
+                owner = moved
+        else:
+            raise NoSuchKeyError(
+                f"{self.name}: {key!r} kept moving mid-read")
         self.stats.gets += 1
         self.stats.bytes_read += self._nbytes.get(key, 0)
         if owner == 0:
@@ -188,14 +225,24 @@ class TieredStore:
         else:
             self.tiering.cold_hits += 1
         hits = self._touch(key)
-        if (owner is not None and owner > 0
-                and hits >= self.config.tiering.promote_hits):
+        if owner > 0 and hits >= self.config.tiering.promote_hits:
             self.promote(key)
         return value
 
     def _fallback_read(self, key: str, owner: int) -> Any:
         """The owning tier is down: try every other tier in heat order
-        (an in-flight migration keeps a destination copy alive)."""
+        (a committed migration's destination copy keeps acknowledged
+        data readable).
+
+        A surviving copy is *adopted* as the new authoritative
+        location only under the key's write lock, and only while the
+        key is still routed to the failed tier — if a migration or a
+        racing ``put`` re-routed the key concurrently, that placement
+        wins and the copy is merely served.  On adoption the abandoned
+        copy on the failed owner is evicted best-effort in the
+        background, so a tier that was only *transiently* down does
+        not keep a superseded copy around leaking rent.
+        """
         for index, tier in enumerate(self.tiers):
             if index == owner:
                 continue
@@ -204,22 +251,27 @@ class TieredStore:
             except (NoSuchKeyError, *_INFRA):
                 continue
             self.tiering.fallback_reads += 1
-            # Adopt the surviving copy: the dead tier's copy is gone.
-            self._where[key] = index
-            self._versions[key] = self._versions.get(key, 0) + 1
+            with self._lock(key):
+                if self._where.get(key) == owner:
+                    self._where[key] = index
+                    self._versions[key] = self._versions.get(key, 0) + 1
+                    self.kernel.spawn(self._evict_copy, key, owner,
+                                      daemon=True,
+                                      name=f"{self.name}-scavenge-{key}")
             return value
         raise NoSuchKeyError(
             f"{self.name}: {key!r} unreadable (owning tier down, "
             f"no surviving copy)")
 
     def delete(self, key: str) -> None:
-        owner = self._where.get(key)
         self.stats.deletes += 1
-        if owner is None:
-            self.tiers[-1].delete(key)
-            return
-        self._forget(key)
-        self.tiers[owner].delete(key)
+        with self._lock(key):
+            owner = self._where.get(key)
+            if owner is None:
+                self.tiers[-1].delete(key)
+                return
+            self._forget(key)
+            self.tiers[owner].delete(key)
 
     def list_prefix(self, prefix: str) -> list[str]:
         """Union of every tier's listing (each tier's LIST is charged
@@ -292,10 +344,15 @@ class TieredStore:
     def _migrate(self, key: str, src: int, dst: int, span: str) -> None:
         """Copy src → dst, re-route, then delete the source copy.
 
-        The version snapshot makes racing writes win: if any ``put``
-        lands while the copy is in flight, the migration abandons
-        itself (and removes its stale destination copy), so no
-        acknowledged write is ever lost to a migration.
+        The value is read out of the source tier *outside* the key's
+        write lock (so a racing ``put`` never waits on a slow copy),
+        but the version snapshot is validated and the destination
+        write, re-route, and source eviction all happen in one locked
+        critical section.  A ``put`` that lands before validation
+        aborts the migration *before* its stale copy ever reaches the
+        destination tier; a ``put`` issued during the critical section
+        blocks until the source eviction has finished — either way no
+        acknowledged write can be deleted or shadowed by a migration.
         """
         counter = ("promotions" if span == "storage.promote"
                    else "demotions")
@@ -314,30 +371,40 @@ class TieredStore:
                     self.tiering.aborted_migrations += 1
                     return
                 nbytes = self._nbytes.get(key, payload_size(value))
-                try:
-                    self.tiers[dst].put(key, value, nbytes=nbytes)
-                except _INFRA:
-                    self.tiering.aborted_migrations += 1
-                    return
-                if (self._versions.get(key) != version
-                        or self._where.get(key) != src):
-                    # A write raced the copy: the fresh value wins and
-                    # our destination copy is stale — drop it if the
-                    # fresh value does not itself live there.
-                    self.tiering.aborted_migrations += 1
-                    if self._where.get(key) != dst:
-                        self._evict_copy(key, dst)
-                    return
-                self._where[key] = dst
-                setattr(self.tiering, counter,
-                        getattr(self.tiering, counter) + 1)
-                self._evict_copy(key, src)
+                with self._lock(key):
+                    if (self._versions.get(key) != version
+                            or self._where.get(key) != src):
+                        # A write raced the copy: the fresh value wins;
+                        # nothing to clean up — the stale copy was
+                        # never written to the destination.
+                        self.tiering.aborted_migrations += 1
+                        return
+                    try:
+                        self.tiers[dst].put(key, value, nbytes=nbytes)
+                    except _INFRA:
+                        self.tiering.aborted_migrations += 1
+                        return
+                    self._where[key] = dst
+                    setattr(self.tiering, counter,
+                            getattr(self.tiering, counter) + 1)
+                    self._unlocked_evict(key, src)
         finally:
             self._migrating.discard(key)
 
     def _evict_copy(self, key: str, tier: int) -> None:
-        """Best-effort delete of a superseded copy (a dead tier lost
-        the copy along with everything else)."""
+        """Best-effort delete of a superseded copy, serialized against
+        writers via the key's lock; re-checks routing so it never
+        deletes a copy that has (re)become authoritative."""
+        with self._lock(key):
+            if self._where.get(key) == tier:
+                return
+            self._unlocked_evict(key, tier)
+
+    def _unlocked_evict(self, key: str, tier: int) -> None:
+        """Delete ``key``'s superseded copy on ``tier``; the caller
+        holds the key's write lock, so no racing ``put`` can install a
+        fresh value there while the delete is in flight (a dead tier
+        lost the copy along with everything else)."""
         try:
             self.tiers[tier].delete(key)
         except _INFRA:

@@ -223,3 +223,6 @@ def test_legacy_object_store_surface_still_works(kernel):
     assert store.list_count == 1
     with pytest.warns(DeprecationWarning):
         assert "k" in store._objects
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
+            store._objects["x"] = object()  # view is read-only

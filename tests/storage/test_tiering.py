@@ -6,7 +6,7 @@ import dataclasses
 import pytest
 
 from repro.config import DEFAULT_CONFIG
-from repro.errors import NoSuchKeyError
+from repro.errors import NetworkError, NoSuchKeyError
 from repro.metrics.cost import CostLedger
 from repro.simulation import Kernel
 from repro.simulation.thread import sleep
@@ -128,6 +128,143 @@ def test_concurrent_put_during_demotion_is_not_lost(kernel):
     assert store.tiering.demotions == 0
     # Exactly one resident copy of the surviving value.
     assert store.tiers[0].size() + store.tiers[1].size() == 1
+
+
+class _FlakyTier:
+    """Protocol wrapper whose requests can be made to fail transiently
+    (a brief network outage in front of an otherwise healthy tier)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.fail_gets = 0
+        self.fail_puts = 0
+
+    def get(self, key):
+        if self.fail_gets > 0:
+            self.fail_gets -= 1
+            raise NetworkError(f"{self._inner.name}: transient outage")
+        return self._inner.get(key)
+
+    def put(self, key, value, nbytes=None):
+        if self.fail_puts > 0:
+            self.fail_puts -= 1
+            raise NetworkError(f"{self._inner.name}: transient outage")
+        return self._inner.put(key, value, nbytes=nbytes)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def test_put_racing_migration_eviction_is_never_lost():
+    """Schedule sweep over the demotion window: wherever the racing
+    put lands relative to the migration's copy and source eviction,
+    the acknowledged value must survive with one resident copy."""
+    config = config_with(demote_after=1.0)
+    for offset_ms in range(0, 80, 4):
+        with Kernel(seed=97) as kernel:
+            store = make_tiered(kernel, config)
+
+            def main():
+                store.put("k", "v0")
+                sleep(2.0)
+                store.demote("k")
+                sleep(offset_ms / 1000.0)
+                store.put("k", "v1")
+                sleep(5.0)
+                assert store.get("k") == "v1", f"offset {offset_ms}ms"
+                sleep(5.0)  # any delayed eviction must not eat it either
+                assert store.get("k") == "v1", f"offset {offset_ms}ms"
+
+            kernel.run_main(main)
+            assert store.tiers[0].size() + store.tiers[1].size() == 1, \
+                f"offset {offset_ms}ms: duplicate or missing copy"
+
+
+def test_put_falling_to_cold_tier_survives_promotion_eviction():
+    """Lost-write regression: a put that falls through to the cold
+    tier (hot tier briefly refusing writes) while a promotion is
+    evicting its cold source copy must not have its freshly installed
+    value swept away by that eviction's delayed delete."""
+    config = config_with(promote_hits=2, heat_window=100.0)
+    for offset_ms in range(0, 60, 5):
+        with Kernel(seed=83) as kernel:
+            flaky = _FlakyTier(MemoryStore(kernel, config, name="memory"))
+            cold = ObjectStore(kernel, config, name="s3",
+                               ledger=flaky.ledger)
+            store = TieredStore(kernel, [flaky, cold], config)
+
+            def main():
+                store.seed("k", "v0")
+                store.get("k")
+                store.get("k")  # promotion (s3 -> memory) starts
+                flaky.fail_puts = 1  # hot tier rejects the racing put
+                sleep(offset_ms / 1000.0)
+                store.put("k", "v1")  # acknowledged on the cold tier
+                sleep(5.0)
+                assert store.get("k") == "v1", f"offset {offset_ms}ms"
+                sleep(5.0)
+                assert store.get("k") == "v1", f"offset {offset_ms}ms"
+
+            kernel.run_main(main)
+            assert store.tiers[0].size() + store.tiers[1].size() == 1, \
+                f"offset {offset_ms}ms: duplicate or missing copy"
+
+
+def test_read_racing_promotion_eviction_never_misses():
+    """A large-object read in flight on the cold tier when the
+    promotion's source eviction lands must follow the key to its new
+    home instead of surfacing a spurious NoSuchKeyError (the GET
+    outlasts the size-independent DELETE, so the blob can vanish
+    mid-read)."""
+    config = config_with(promote_hits=2, heat_window=100.0)
+    for offset_ms in range(0, 100, 5):
+        with Kernel(seed=29) as kernel:
+            store = make_tiered(kernel, config)
+
+            def main():
+                store.seed("k", "v", nbytes=4_000_000)
+                store.get("k")
+                store.get("k")  # crosses the threshold: promotion starts
+                sleep(offset_ms / 1000.0)
+                assert store.get("k") == "v", f"offset {offset_ms}ms"
+                sleep(1.0)
+                assert store.get("k") == "v", f"offset {offset_ms}ms"
+
+            kernel.run_main(main)
+
+
+def test_transient_owner_failure_never_adopts_stale_copy():
+    """A reader falling back while a superseded migration is settling
+    must never turn the migration's stale copy into the authoritative
+    value (and the cold tier must not end up holding it)."""
+    config = config_with(demote_after=1.0)
+    for offset_ms in range(10, 60, 5):
+        with Kernel(seed=41) as kernel:
+            flaky = _FlakyTier(MemoryStore(kernel, config, name="memory"))
+            cold = ObjectStore(kernel, config, name="s3",
+                               ledger=flaky.ledger)
+            store = TieredStore(kernel, [flaky, cold], config)
+
+            def main():
+                store.put("k", "v0")
+                sleep(2.0)
+                store.demote("k")     # migration snapshots v0
+                store.put("k", "v1")  # acknowledged: supersedes it
+                sleep(offset_ms / 1000.0)
+                flaky.fail_gets = 1   # owner hiccups mid-settling
+                try:
+                    value = store.get("k")
+                except NoSuchKeyError:
+                    value = None  # an honest degraded miss is fine...
+                assert value != "v0", \
+                    f"offset {offset_ms}ms: stale value served"
+                sleep(5.0)
+                assert store.get("k") == "v1", f"offset {offset_ms}ms"
+                assert store.tier_of("k") == 0, f"offset {offset_ms}ms"
+
+            kernel.run_main(main)
+            # No stale copy left resident (and leaking rent) on cold.
+            assert store.tiers[1].size() == 0, f"offset {offset_ms}ms"
 
 
 def test_migrations_emit_spans(kernel):

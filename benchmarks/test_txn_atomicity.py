@@ -1,0 +1,53 @@
+"""Transaction overhead vs raw invokes, plus contention counters."""
+
+import json
+
+import pytest
+
+from conftest import OUT_DIR, archive, full_scale
+from repro.harness import txn_atomicity
+
+# CI floors (virtual-time ratios, so wall-clock jitter cannot move
+# them): a SIZE-key read-atomic commit must stay within 3x of SIZE
+# plain sequential invokes — two pipelined rounds (prepare + commit)
+# against SIZE independent round trips — and the validated snapshot
+# read within 4x of the non-atomic read_bulk sweep.
+OVERHEAD_RATIO_CEILING = 3.0
+READ_RATIO_CEILING = 4.0
+
+
+def test_txn_atomicity(benchmark):
+    reps = 50 if full_scale() else 20
+    clients = 8 if full_scale() else 4
+    result = benchmark.pedantic(
+        txn_atomicity.run,
+        kwargs={"reps": reps, "clients": clients},
+        rounds=1, iterations=1)
+    report = txn_atomicity.report(result)
+    archive("txn_atomicity", report)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_txn.json").write_text(json.dumps({
+        "size": result.size,
+        "reps": result.reps,
+        "txn_commit_us": result.txn_commit_time * 1e6,
+        "seq_invoke_us": result.seq_invoke_time * 1e6,
+        "overhead_ratio": result.overhead_ratio,
+        "txn_read_us": result.txn_read_time * 1e6,
+        "bulk_read_us": result.bulk_read_time * 1e6,
+        "read_ratio": result.read_ratio,
+        "contended_txns": result.contended_txns,
+        "aborts": result.aborts,
+        "abort_rate": result.abort_rate,
+        "read_retries": result.read_retries,
+        "forced_fetches": result.forced_fetches,
+    }, indent=2) + "\n")
+
+    assert result.overhead_ratio <= OVERHEAD_RATIO_CEILING, report
+    assert result.read_ratio <= READ_RATIO_CEILING, report
+    # The commit still does real work: it cannot be cheaper than one
+    # baseline invoke (that would mean the measured window is broken).
+    assert result.txn_commit_time > result.seq_invoke_time / result.size
+    # No conflict detection => no contention aborts on a healthy
+    # cluster; a nonzero rate means spurious aborts crept in.
+    assert result.aborts == 0, report
+    assert result.contended_txns > 0

@@ -71,6 +71,13 @@ from repro.core import (
 from repro.core.runtime import RUNNER_FUNCTION, compute, current_location
 from repro.dso.cache import readonly
 from repro.dso.pipeline import DsoFuture
+from repro.dso.txn import Txn, TxnCell, unreplicated
+from repro.errors import (
+    TxnAbortedError,
+    TxnError,
+    TxnFracturedReadError,
+    TxnPrepareLostError,
+)
 from repro.explore import (
     ExplorationReport,
     ExplorationRunner,
@@ -80,9 +87,14 @@ from repro.explore import (
     ScheduleTrace,
 )
 from repro.linearizability import (
+    AtomicityViolation,
     HistoryRecorder,
     LinearizabilityChecker,
     Operation,
+    TxnCommitRecord,
+    TxnReadRecord,
+    final_state_violations,
+    find_fractured_reads,
 )
 from repro.metrics import BackendBill, CostLedger, cost_summary
 from repro.storage import (
@@ -106,7 +118,7 @@ from repro.trace import (
     write_chrome_trace,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Config",
@@ -126,6 +138,13 @@ __all__ = [
     "dso_costs",
     "readonly",
     "DsoFuture",
+    "Txn",
+    "TxnCell",
+    "unreplicated",
+    "TxnError",
+    "TxnAbortedError",
+    "TxnFracturedReadError",
+    "TxnPrepareLostError",
     "AtomicInt",
     "AtomicLong",
     "AtomicBoolean",
@@ -146,6 +165,11 @@ __all__ = [
     "HistoryRecorder",
     "LinearizabilityChecker",
     "Operation",
+    "AtomicityViolation",
+    "TxnCommitRecord",
+    "TxnReadRecord",
+    "find_fractured_reads",
+    "final_state_violations",
     "StorageBackend",
     "BackendProfile",
     "ObjectStore",

@@ -35,6 +35,8 @@ from repro.harness import (
     table2_latency,
     table3_costs,
     table4_loc,
+    tiering_pareto,
+    txn_atomicity,
 )
 
 EXPERIMENTS = {
@@ -72,6 +74,11 @@ EXPERIMENTS = {
     "kernel": (kernel_speed,
                {"default": {"events": 40_000, "ops": 400},
                 "full": {"events": 200_000, "ops": 2_000}}),
+    "tiering": (tiering_pareto,
+                {"default": {"reads": 600}, "full": {"reads": 2400}}),
+    "txn": (txn_atomicity,
+            {"default": {"reps": 20, "clients": 4},
+             "full": {"reps": 50, "clients": 8}}),
 }
 
 

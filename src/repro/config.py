@@ -136,6 +136,12 @@ class DsoTimings:
     #: explicitly (``future.result()`` flushes immediately).
     pipeline_max_batch: int = 32
     pipeline_flush_window: float = 200 * MICROS
+    #: Committed versions a transactional cell (repro.dso.txn.TxnCell)
+    #: retains per key.  A reader needing atomic visibility can fall
+    #: back to any retained version; deeper histories tolerate longer
+    #: read/write skew before a reader must abort, at the price of
+    #: memory.  AFT similarly bounds its per-key version history.
+    txn_history: int = 8
     #: Per-object state-transfer cost during rebalancing (includes the
     #: deliberate throttling real grids apply so rebalance does not
     #: starve foreground traffic), plus a fixed view-installation

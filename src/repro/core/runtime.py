@@ -152,6 +152,17 @@ class CrucialEnvironment:
                                        shards=shards, config=self.config)
         return self._redis
 
+    def transaction(self, rf: int = 1):
+        """A read-atomic multi-object transaction scoped to the
+        calling location (client process or function container).
+
+        ``with env.transaction() as txn:`` — reads inside the block
+        observe an atomic-visibility snapshot, ``txn.write`` buffers,
+        and a clean exit commits every write atomically and
+        exactly-once (see :mod:`repro.dso.txn` and DESIGN.md §14).
+        """
+        return self.dso.transaction(current_location(), rf=rf)
+
     def tiered_store(self):
         """Heat-tracked tiered storage (created on first use): an
         in-memory hot tier stacked over this environment's object

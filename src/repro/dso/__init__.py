@@ -5,11 +5,16 @@ Crucial's core contribution: mutable shared state organized as
 Clients ship method invocations to the object's primary replica
 (located via consistent hashing of the ``(type, key)`` reference);
 persistent objects are replicated with state machine replication, and
-membership changes trigger background rebalancing.
+membership changes trigger background rebalancing.  On top of the
+per-object guarantees, :mod:`repro.dso.txn` adds read-atomic
+multi-object transactions (AFT-style: atomic visibility, exactly-once
+fenced commit).
 """
 
 from repro.dso.cache import ObjectCache, readonly
+from repro.dso.txn import Txn, TxnCell, unreplicated
 from repro.dso.reference import DsoReference
 from repro.dso.layer import DsoLayer
 
-__all__ = ["DsoReference", "DsoLayer", "ObjectCache", "readonly"]
+__all__ = ["DsoReference", "DsoLayer", "ObjectCache", "readonly",
+           "Txn", "TxnCell", "unreplicated"]

@@ -54,6 +54,12 @@ from repro.dso.pipeline import DsoFuture, _PendingOp, _Pipeline
 from repro.dso.reference import DsoReference
 from repro.dso.server import DsoCall, DsoNode, ObjectContainer, ServerCondition
 from repro.dso.session import SessionStamp, _ClientSession
+from repro.dso.txn import (
+    Txn,
+    TxnCell,
+    _commit_fence_disabled,
+    is_unreplicated,
+)
 from repro.errors import (
     NetworkError,
     NoSuchObjectError,
@@ -61,6 +67,7 @@ from repro.errors import (
     ObjectLostError,
     ServiceUnavailableError,
     SessionReplayError,
+    TxnPrepareLostError,
 )
 from repro.net.network import Network, ship
 from repro.simulation.kernel import Kernel, current_thread
@@ -150,6 +157,21 @@ class LayerStats:
     #: round trips that carried them (repro.dso.pipeline).
     pipelined_ops: int = 0
     batches: int = 0
+    #: Read-atomic multi-object transactions (repro.dso.txn).
+    txns_committed: int = 0
+    txns_aborted: int = 0
+    #: Prepare ops shipped by transaction commits (including
+    #: re-prepares after failover).
+    txn_prepares: int = 0
+    #: Commit-fence rejections: a commit reached a primary with no
+    #: prepared entry (crash-failover lost it) and was turned back
+    #: for re-prepare instead of silently dropping the write.
+    txn_fence_trips: int = 0
+    #: Transactional reads that retried because no version was
+    #: consistent with the read set yet, and reads answered from a
+    #: prepared entry forced by a committed sibling (RAMP-style).
+    txn_read_retries: int = 0
+    txn_forced_fetches: int = 0
 
 
 class DsoLayer:
@@ -197,6 +219,14 @@ class DsoLayer:
         #: lazily on the first invoke_async — the dict stays empty (and
         #: the sync path pays nothing) until the feature is used.
         self._pipelines: dict[str, _Pipeline] = {}
+        # Read-atomic transactions (repro.dso.txn).  Commit ids come
+        # from a plain counter — no RNG, no clock — and the logs are
+        # append-only client-side records for the atomicity checker;
+        # all of it is free until the first transaction runs, so the
+        # Table 2 / Fig. 2a calibration is untouched.
+        self._txn_cids = itertools.count(1)
+        self.txn_log: list = []
+        self.txn_reads: list = []
         self._failure_detector = None
         self.membership.subscribe(self._on_view)
 
@@ -334,6 +364,38 @@ class DsoLayer:
         with deterministic seeded jitter."""
         rng = self.kernel.rng.stream(f"dso.{self.name}.retry")
         return self._retry_policy.delay(attempt, rng)
+
+    # ------------------------------------------------------------------
+    # Read-atomic multi-object transactions (repro.dso.txn)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, client: str, rf: int = 1) -> Iterator[Txn]:
+        """Run a block as one read-atomic transaction.
+
+        Yields a :class:`~repro.dso.txn.Txn`; the block's reads
+        observe an atomic-visibility snapshot, writes are buffered,
+        and a clean exit commits all of them atomically (an exception
+        aborts).  ``rf >= 2`` keys survive primary crashes mid-commit
+        — the commit fence re-prepares at the promoted backup, and
+        session dedup keeps the retried commit exactly-once.
+        """
+        txn = Txn(self, client, rf=rf)
+        try:
+            yield txn
+        except BaseException:
+            if txn.status == "open":
+                txn.abort()
+            raise
+        else:
+            if txn.status == "open":
+                txn.commit()
+
+    def _txn_ref(self, key: str, rf: int = 1) -> DsoReference:
+        return DsoReference("TxnCell", key, persistent=rf > 1, rf=rf)
+
+    def _txn_ctor(self) -> tuple:
+        return (TxnCell, (), {"history": self.config.dso.txn_history})
 
     # ------------------------------------------------------------------
     # Lease-based read caching (repro.dso.cache)
@@ -670,7 +732,20 @@ on_container_reclaim` so cache lifetime equals container lifetime:
         model issues one batched request per node instead of 200
         round trips, but still charges per-object service time, so
         node capacity — the quantity the experiment stresses — is
-        modelled faithfully.  No cross-object atomicity is implied.
+        modelled faithfully.
+
+        **No cross-object atomicity.**  Each per-node group observes
+        its objects at that group's own service instant; a write that
+        lands between two groups is seen by the later group only, so
+        one bulk read can return *half* of a concurrent multi-object
+        update — a fractured read.  This is by design (the sweep is
+        the cheapest possible read) and asserted as expected
+        behaviour in ``tests/dso/test_txn.py::
+        test_read_bulk_fractures_under_mid_sweep_write``.  Callers
+        that need an atomic multi-object snapshot must read inside a
+        transaction instead (:meth:`transaction` /
+        :class:`repro.dso.txn.Txn`), whose read-set validation
+        guarantees read-atomic isolation.
 
         A transient failure retries only the *unfinished* per-node
         groups: objects whose group already completed keep their
@@ -915,20 +990,52 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                     if not node.alive or container.dead:
                         raise NodeCrashedError(
                             f"{primary_name} crashed during {ref}.{method}")
+                    # Commit fence: a txn commit is only valid at a
+                    # primary still holding the prepared entry.  A
+                    # promoted backup never saw the (unreplicated)
+                    # prepare, so the commit is turned back *before*
+                    # any mutation or session record — the client
+                    # re-prepares there and retries with a fresh
+                    # stamp.  The mutation hook drops the write
+                    # instead (see repro.dso.txn).
+                    fence_dropped = False
+                    if method == "__txn_commit__":
+                        prepared = getattr(container.instance,
+                                           "prepared", None)
+                        if (prepared is not None
+                                and args[0] not in prepared):
+                            if _commit_fence_disabled():
+                                fence_dropped = True
+                            else:
+                                self.stats.txn_fence_trips += 1
+                                raise TxnPrepareLostError(
+                                    f"{ref}: no prepared entry for txn "
+                                    f"{args[0]!r} at {primary_name}; "
+                                    f"re-prepare before committing")
                     self.stats.invocations += 1
-                    result = self._apply(container, method, args, kwargs,
-                                         call)
+                    if fence_dropped:
+                        result = args[1]
+                    else:
+                        result = self._apply(container, method, args,
+                                             kwargs, call)
                     replicated = (len(placement.replicas) > 1
-                                  and placement.version == version)
+                                  and placement.version == version
+                                  and not fence_dropped
+                                  and not is_unreplicated(
+                                      type(container.instance), method))
                     entry = None
                     if stamp is not None:
                         # Remember the reply *before* replication: if we
                         # crash mid-replication, a retry must dedup here
                         # rather than mutate twice.  committed=False until
-                        # every backup has it.
+                        # every backup has it.  A txn prepare's record is
+                        # pinned under its txn id — LRU eviction must not
+                        # reclaim it before the commit/abort resolves.
                         entry = container.sessions.record(
                             stamp, self._shippable(result),
-                            committed=not replicated)
+                            committed=not replicated,
+                            pin=(args[0] if method == "__txn_prepare__"
+                                 else None))
                     if self.read_cache:
                         if not is_readonly(type(container.instance),
                                            method):
@@ -1149,7 +1256,13 @@ on_container_reclaim` so cache lifetime equals container lifetime:
         container.applied_ops += 1
         if isinstance(instance, ServerObject) and call is not None:
             return bound(call, *args, **kwargs)
-        return bound(*args, **kwargs)
+        result = bound(*args, **kwargs)
+        if method in ("__txn_commit__", "__txn_abort__"):
+            # The prepare's pinned dedup record may now be reclaimed;
+            # runs wherever the op applies (primary, SMR backups, and
+            # rebalanced tables that travelled with pins).
+            container.sessions.unpin(args[0])
+        return result
 
     def _replicate(self, placement: Placement, ref: DsoReference,
                    method: str, args: tuple, kwargs: dict, cost: float,

@@ -111,6 +111,15 @@ class ObjectContainer:
     carries the :class:`SessionTable` that makes shipped invocations
     exactly-once: retransmissions find their cached reply here instead
     of re-executing (see :mod:`repro.dso.session`).
+
+    Transactional objects (:class:`repro.dso.txn.TxnCell`) add two
+    pieces of container-scoped soft state: the instance's ``prepared``
+    map (primary-local — ``__txn_prepare__`` is unreplicated, so a
+    promoted backup starts with it empty and the commit fence catches
+    retries whose prepare died with the old primary) and *pinned*
+    session entries (the prepare's dedup record is pinned until the
+    transaction resolves, so LRU pressure can never evict the evidence
+    that a commit retry needs — see :meth:`pinned_txns`).
     """
 
     def __init__(self, node: "DsoNode", key: tuple[str, str], instance: Any,
@@ -133,6 +142,19 @@ class ObjectContainer:
 
     def condition(self) -> ServerCondition:
         return ServerCondition(self)
+
+    def pinned_txns(self) -> set[str]:
+        """Transaction ids with an unresolved prepare at this replica.
+
+        Union of the instance's ``prepared`` soft state and the pinned
+        session entries; tests use this to assert that the pin set
+        drains once every transaction commits or aborts.
+        """
+        txns = set(self.sessions.pinned_tokens())
+        prepared = getattr(self.instance, "prepared", None)
+        if prepared:
+            txns.update(prepared)
+        return txns
 
     def mark_dead(self) -> None:
         self.dead = True

@@ -90,6 +90,13 @@ class SessionEntry:
     #: re-runs replication — which backups in turn deduplicate — so a
     #: cached acknowledgement never weakens durability.
     committed: bool = False
+    #: Non-``None`` while this reply must survive LRU eviction no
+    #: matter how cold its session goes: a transaction prepare's dedup
+    #: record is pinned under its txn id until the commit or abort
+    #: resolves it (:meth:`SessionTable.unpin`).  Evicting it earlier
+    #: would let a crashed-and-retried prepare re-execute under a
+    #: fresh entry, breaking exactly-once commit.
+    pin: str | None = None
 
 
 @dataclass
@@ -139,19 +146,40 @@ class SessionTable:
         return None
 
     def record(self, stamp: SessionStamp, reply: Any,
-               committed: bool) -> SessionEntry:
+               committed: bool, pin: str | None = None) -> SessionEntry:
         """Remember ``reply`` for ``stamp`` and prune acknowledged
-        predecessors."""
+        predecessors.  A ``pin`` token exempts the entry (and its
+        session) from LRU eviction until :meth:`unpin` releases it.
+        """
         state = self._sessions.get(stamp.sid)
         if state is None:
             state = self._sessions[stamp.sid] = _SessionState()
         self._touch(stamp.sid)
-        entry = SessionEntry(reply=reply, committed=committed)
+        entry = SessionEntry(reply=reply, committed=committed, pin=pin)
         state.replies[stamp.seq] = entry
         state.last_seq = max(state.last_seq, stamp.seq)
         self.truncate(stamp)
         self._evict()
         return entry
+
+    def unpin(self, token: str) -> int:
+        """Release every entry pinned under ``token``; returns how
+        many were held.  Called when the pinning transaction's commit
+        or abort resolves — only then may LRU pressure reclaim the
+        prepare's dedup record."""
+        released = 0
+        for state in self._sessions.values():
+            for entry in state.replies.values():
+                if entry.pin == token:
+                    entry.pin = None
+                    released += 1
+        return released
+
+    def pinned_tokens(self) -> set[str]:
+        """Distinct pin tokens currently held (test introspection)."""
+        return {entry.pin for state in self._sessions.values()
+                for entry in state.replies.values()
+                if entry.pin is not None}
 
     def truncate(self, stamp: SessionStamp) -> None:
         """Drop this session's replies at or below the watermark."""
@@ -183,10 +211,20 @@ class SessionTable:
         # (3) only as a last resort, the coldest session holding an
         #     *uncommitted* reply, whose retransmission could
         #     re-replicate — the standard bounded-table tradeoff.
+        # A session holding any *pinned* entry (an unresolved txn
+        # prepare) is never a candidate: losing its dedup record could
+        # double-apply a retried commit.  If every session is pinned
+        # the table transiently exceeds its cap — unpin resolves it.
         # Size the cap generously.
         victim = None
         committed_victim = None
+        fallback = None
         for sid, state in self._sessions.items():
+            if any(entry.pin is not None
+                   for entry in state.replies.values()):
+                continue
+            if fallback is None:
+                fallback = sid
             if not state.replies:
                 victim = sid
                 break
@@ -195,7 +233,9 @@ class SessionTable:
                 committed_victim = sid
         if victim is None:
             victim = (committed_victim if committed_victim is not None
-                      else next(iter(self._sessions)))
+                      else fallback)
+        if victim is None:
+            return  # every session pinned: defer eviction to unpin
         del self._sessions[victim]
 
     def merge_from(self, other: "SessionTable") -> None:

@@ -106,6 +106,41 @@ class SerializationError(CloudError):
     """A value shipped between nodes is not serializable."""
 
 
+class TxnError(CloudError):
+    """Base class for multi-object transaction failures
+    (:mod:`repro.dso.txn`)."""
+
+
+class TxnAbortedError(TxnError):
+    """The transaction was aborted (explicitly, or by the commit
+    machinery after an unrecoverable failure); none of its buffered
+    writes are visible."""
+
+
+class TxnFracturedReadError(TxnError):
+    """No atomic-visibility snapshot could be assembled for a read.
+
+    Raised after the read-set validation loop exhausts its retry
+    budget without finding a version of the key that is consistent
+    with every version already observed by this transaction.  The
+    transaction must abort; surfacing the condition (instead of
+    returning fractured data) is the read-atomic contract.
+    """
+
+
+class TxnPrepareLostError(TxnError):
+    """A commit arrived at a primary that holds no prepared entry for
+    the transaction.
+
+    Prepared (pre-commit) versions live only at the primary that
+    accepted them; a crash-failover promotes a backup that never saw
+    the prepare.  The commit fence detects this *before* installing
+    anything, so the client can re-prepare at the new primary and
+    retry — without the fence the write would be silently dropped,
+    leaving a fractured (half-committed) transaction.
+    """
+
+
 # ---------------------------------------------------------------------------
 # FaaS layer
 # ---------------------------------------------------------------------------

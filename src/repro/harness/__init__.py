@@ -27,6 +27,8 @@ from repro.harness import (  # noqa: F401  (re-exported for discoverability)
     table2_latency,
     table3_costs,
     table4_loc,
+    tiering_pareto,
+    txn_atomicity,
 )
 
 __all__ = [
@@ -46,4 +48,6 @@ __all__ = [
     "fig8_persistence",
     "kernel_speed",
     "table4_loc",
+    "tiering_pareto",
+    "txn_atomicity",
 ]

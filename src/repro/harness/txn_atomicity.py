@@ -1,0 +1,198 @@
+"""Transaction overhead and contention: the cost of read atomicity.
+
+Not a figure from the paper — the paper's consistency model stops at
+single-object linearizability, and ``repro.dso.txn`` deliberately
+extends it (DESIGN.md §14).  This harness prices that extension so CI
+can pin it:
+
+* **commit overhead**: a 4-key transactional commit versus four plain
+  sequential invocations of the same layer.  The transaction pays two
+  pipelined rounds (prepare, commit) instead of four independent
+  round trips, so the ratio is bounded — the CI floor asserts ≤ 3x.
+* **read overhead**: a 4-key transactional snapshot (sequential
+  validated reads) versus one ``read_bulk`` sweep (per-node groups,
+  no atomicity) — the price of never observing a fractured read.
+* **contention**: concurrent read-modify-write transactions over a
+  Zipf-skewed keyspace.  The protocol has no write-write conflict
+  detection (last-writer-wins by commit id, as in AFT), so the abort
+  rate under contention is expected to be ~0 on a healthy cluster;
+  it is reported — with the read-retry and forced-fetch counters that
+  *do* move under contention — to keep that property pinned.
+
+All quantities are virtual-time; wall time only bounds the harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.runtime import CrucialEnvironment
+from repro.errors import TxnError
+from repro.metrics.report import comparison_table
+from repro.simulation.thread import spawn
+
+#: Keys per measured transaction (the ISSUE's "txn of size 4").
+SIZE = 4
+
+
+@dataclass
+class TxnAtomicityResult:
+    """Virtual-time latencies plus contention counters."""
+
+    size: int
+    reps: int
+    txn_commit_time: float  #: seconds per SIZE-key commit
+    seq_invoke_time: float  #: seconds per SIZE sequential puts
+    txn_read_time: float  #: seconds per SIZE-key transactional snapshot
+    bulk_read_time: float  #: seconds per SIZE-key read_bulk sweep
+    contended_txns: int
+    aborts: int
+    read_retries: int
+    forced_fetches: int
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Commit cost relative to the non-atomic baseline."""
+        return self.txn_commit_time / self.seq_invoke_time
+
+    @property
+    def read_ratio(self) -> float:
+        return self.txn_read_time / self.bulk_read_time
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborts / self.contended_txns \
+            if self.contended_txns else 0.0
+
+
+def _zipf_index(rnd: random.Random, n: int, s: float = 1.2) -> int:
+    weights = [1.0 / (i + 1) ** s for i in range(n)]
+    total = sum(weights)
+    point = rnd.random() * total
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if point <= acc:
+            return i
+    return n - 1
+
+
+def run(reps: int = 20, clients: int = 4, rounds: int = 8,
+        keyspace: int = 8, seed: int = 5) -> TxnAtomicityResult:
+    with CrucialEnvironment(seed=seed, dso_nodes=3) as env:
+        layer = env.dso
+        txn_keys = [f"txn-{i}" for i in range(SIZE)]
+        kv_keys = [f"kv-{i}" for i in range(SIZE)]
+
+        def workload():
+            client = env.client_endpoint
+            # Warm: create every object outside the measured windows.
+            with env.transaction() as txn:
+                for key in txn_keys:
+                    txn.write(key, 0)
+            for key in kv_keys:
+                env.dso.put(client, key, 0)
+
+            start = env.now
+            for rep in range(reps):
+                for key in kv_keys:
+                    env.dso.put(client, key, rep)
+            seq_invoke = (env.now - start) / reps
+
+            start = env.now
+            for rep in range(reps):
+                with env.transaction() as txn:
+                    for key in txn_keys:
+                        txn.write(key, rep)
+            txn_commit = (env.now - start) / reps
+
+            start = env.now
+            for _ in range(reps):
+                with env.transaction() as txn:
+                    for key in txn_keys:
+                        txn.read(key)
+            txn_read = (env.now - start) / reps
+
+            refs = [layer._txn_ref(key) for key in txn_keys]
+            start = env.now
+            for _ in range(reps):
+                layer.read_bulk(client, refs)
+            bulk_read = (env.now - start) / reps
+
+            # Contention: concurrent read-modify-write over Zipf keys.
+            aborts_before = layer.stats.txns_aborted
+            retries_before = layer.stats.txn_read_retries
+            forced_before = layer.stats.txn_forced_fetches
+            attempted = [0]
+
+            def contender(index):
+                rnd = random.Random(seed * 1000 + index)
+                for _ in range(rounds):
+                    first = _zipf_index(rnd, keyspace)
+                    second = _zipf_index(rnd, keyspace)
+                    if second == first:
+                        second = (first + 1) % keyspace
+                    keys = [f"hot-{first}", f"hot-{second}"]
+                    attempted[0] += 1
+                    try:
+                        with env.transaction() as txn:
+                            total = sum(txn.read(k) or 0 for k in keys)
+                            for k in keys:
+                                txn.write(k, total + 1)
+                    except TxnError:
+                        pass  # counted via stats.txns_aborted
+
+            with env.transaction() as txn:
+                for i in range(keyspace):
+                    txn.write(f"hot-{i}", 0)
+            threads = [spawn(contender, i, name=f"contender-{i}")
+                       for i in range(clients)]
+            for thread in threads:
+                thread.join()
+
+            return (seq_invoke, txn_commit, txn_read, bulk_read,
+                    attempted[0],
+                    layer.stats.txns_aborted - aborts_before,
+                    layer.stats.txn_read_retries - retries_before,
+                    layer.stats.txn_forced_fetches - forced_before)
+
+        (seq_invoke, txn_commit, txn_read, bulk_read, attempted,
+         aborts, read_retries, forced) = env.run(workload)
+    return TxnAtomicityResult(
+        size=SIZE, reps=reps,
+        txn_commit_time=txn_commit, seq_invoke_time=seq_invoke,
+        txn_read_time=txn_read, bulk_read_time=bulk_read,
+        contended_txns=attempted, aborts=aborts,
+        read_retries=read_retries, forced_fetches=forced)
+
+
+def report(result: TxnAtomicityResult) -> str:
+    table = comparison_table(
+        f"read-atomic transactions, {result.size} keys x "
+        f"{result.reps} reps (commit overhead "
+        f"{result.overhead_ratio:.2f}x, read overhead "
+        f"{result.read_ratio:.2f}x)",
+        [
+            (f"{result.size} sequential puts (baseline)",
+             result.seq_invoke_time * 1e6,
+             result.seq_invoke_time * 1e6),
+            (f"txn commit of {result.size}",
+             result.seq_invoke_time * 1e6,
+             result.txn_commit_time * 1e6),
+            (f"read_bulk of {result.size} (baseline)",
+             result.bulk_read_time * 1e6,
+             result.bulk_read_time * 1e6),
+            (f"txn snapshot of {result.size}",
+             result.bulk_read_time * 1e6,
+             result.txn_read_time * 1e6),
+        ], unit="us")
+    lines = [
+        table,
+        f"contention: {result.contended_txns} txns, "
+        f"{result.aborts} aborted "
+        f"(rate {result.abort_rate:.3f}), "
+        f"{result.read_retries} read retries, "
+        f"{result.forced_fetches} forced fetches",
+    ]
+    return "\n".join(lines)

@@ -9,5 +9,14 @@ suite uses it as a property check on the DSO layer.
 
 from repro.linearizability.history import HistoryRecorder, Operation
 from repro.linearizability.checker import LinearizabilityChecker
+from repro.linearizability.atomicity import (
+    AtomicityViolation,
+    TxnCommitRecord,
+    TxnReadRecord,
+    final_state_violations,
+    find_fractured_reads,
+)
 
-__all__ = ["HistoryRecorder", "Operation", "LinearizabilityChecker"]
+__all__ = ["HistoryRecorder", "Operation", "LinearizabilityChecker",
+           "AtomicityViolation", "TxnCommitRecord", "TxnReadRecord",
+           "find_fractured_reads", "final_state_violations"]

@@ -1,0 +1,140 @@
+"""Cross-partition read-atomicity checking (the fractured-read pass).
+
+The base checker (:mod:`repro.linearizability.checker`) is
+P-compositional: it verifies each object's history in isolation,
+which by definition cannot see a *fractured read* — a reader that
+observed one of a transaction's writes together with a pre-transaction
+version of another key the same transaction wrote.  This module adds
+the cross-partition pass: given the commit log and the per-transaction
+read observations that :class:`repro.dso.txn.Txn` records
+(``DsoLayer.txn_log`` / ``DsoLayer.txn_reads``), it checks the two
+properties AFT/RAMP guarantee:
+
+* **Atomic visibility** (:func:`find_fractured_reads`): for every
+  pair of observations ``(k -> cid_k)``, ``(j -> cid_j)`` by one
+  reader, if the transaction that wrote ``k``'s version also wrote
+  ``j``, then ``cid_j >= cid_k`` — the reader never saw a sibling
+  key older than an observed write.
+
+* **All-or-nothing installation**
+  (:func:`final_state_violations`): after quiescence, every key's
+  latest committed version is the highest-cid acknowledged
+  transaction that wrote it.  A half-applied transaction (one write
+  installed, a sibling silently dropped — exactly what disabling the
+  commit fence produces) shows up as a key stuck below its expected
+  winner.
+
+Both functions are pure on plain data, so the exploration fuzzer and
+the chaos suites can run them as invariants over recorded trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TxnCommitRecord:
+    """One acknowledged transaction commit (client-side log entry)."""
+
+    #: Session-derived transaction identity.
+    txn_id: str
+    #: The commit id its versions were installed under.
+    cid: int
+    #: Keys the transaction wrote (sorted).
+    writes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TxnReadRecord:
+    """The versions one transaction observed, keyed for the pass."""
+
+    #: Reader identity (txn id, or a label for read-only txns).
+    reader: str
+    #: Sorted ``(key, cid)`` observations.
+    reads: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class AtomicityViolation:
+    """One detected read-atomicity breach, with enough context to
+    reproduce: who read what, and which transaction was fractured."""
+
+    reader: str
+    txn_id: str
+    key_seen: str
+    cid_seen: int
+    key_stale: str
+    cid_stale: int
+
+    def describe(self) -> str:
+        return (f"reader {self.reader!r} saw {self.key_seen!r}@cid"
+                f"{self.cid_seen} from txn {self.txn_id!r} but "
+                f"{self.key_stale!r}@cid{self.cid_stale} — the txn "
+                f"also wrote {self.key_stale!r}, so the reader "
+                f"observed a fractured (pre-txn) sibling")
+
+
+def find_fractured_reads(
+        commits: list[TxnCommitRecord] | tuple[TxnCommitRecord, ...],
+        reads: list[TxnReadRecord] | tuple[TxnReadRecord, ...],
+) -> list[AtomicityViolation]:
+    """Every fractured read in ``reads`` relative to ``commits``.
+
+    A reader fractures transaction *T* when it observed some key at
+    *T*'s cid while observing another key *T* wrote at a *lower* cid.
+    cid 0 (the initial version, empty writeset) never fractures.
+    Returns an empty list on a read-atomic history.
+    """
+    by_cid: dict[int, TxnCommitRecord] = {c.cid: c for c in commits}
+    violations: list[AtomicityViolation] = []
+    for record in reads:
+        observed = dict(record.reads)
+        for key, cid in record.reads:
+            writer = by_cid.get(cid)
+            if writer is None:
+                continue  # initial version or unlogged writer
+            for sibling in writer.writes:
+                sibling_cid = observed.get(sibling)
+                if sibling_cid is not None and sibling_cid < cid:
+                    violations.append(AtomicityViolation(
+                        reader=record.reader, txn_id=writer.txn_id,
+                        key_seen=key, cid_seen=cid,
+                        key_stale=sibling, cid_stale=sibling_cid))
+    return violations
+
+
+def final_state_violations(
+        commits: list[TxnCommitRecord] | tuple[TxnCommitRecord, ...],
+        final_cids: dict[str, int],
+) -> list[str]:
+    """Keys whose quiescent state contradicts the acknowledged log.
+
+    ``final_cids`` maps each key to the cid of its latest committed
+    version after the system quiesced.  For every key any logged
+    transaction wrote, the expected winner is the highest-cid
+    acknowledged writer; a mismatch means an acknowledged write was
+    dropped (fence disabled / buggy recovery) or a phantom version
+    appeared.  Returns human-readable findings, empty when clean.
+    """
+    expected: dict[str, tuple[int, str]] = {}
+    for commit in commits:
+        for key in commit.writes:
+            best = expected.get(key)
+            if best is None or commit.cid > best[0]:
+                expected[key] = (commit.cid, commit.txn_id)
+    findings: list[str] = []
+    for key, (cid, txn_id) in sorted(expected.items()):
+        have = final_cids.get(key)
+        if have is None:
+            findings.append(
+                f"{key!r}: acknowledged txn {txn_id!r} (cid {cid}) "
+                f"but the key has no committed state at all")
+        elif have != cid:
+            fate = ("dropped" if have < cid
+                    else "superseded by a phantom version")
+            findings.append(
+                f"{key!r}: expected cid {cid} (acked txn {txn_id!r}) "
+                f"but final committed version is cid {have} — an "
+                f"acknowledged write was {fate}")
+    return findings

@@ -134,3 +134,44 @@ def test_cached_reads_linearizable_under_kill_primary_schedule(kernel,
     stats = layer.stats
     assert stats.leases_granted >= 1
     assert stats.retries >= 1  # the kill actually hit in-flight work
+
+
+def test_kill_primary_mid_txn_commit_fences_leases(kernel, network):
+    """A transaction commit that rides through a primary crash must
+    still fence outstanding read leases: once the commit acknowledges,
+    no client may be served its pre-commit cached snapshot — whether
+    the fence was an explicit revoke, the dead primary waiting out an
+    unreachable holder's TTL, or the failover's version bump.  The
+    TTL is kept inside the retry window so the wait-out path completes
+    before the commit's retry deadline."""
+    config = config_with(lease_ttl=2.0)
+    layer = make_layer(kernel, network, nodes=3, config=config)
+    injector = ChaosInjector(kernel, network=network, dso=layer)
+    network.ensure_endpoint("writer")
+    ctor = layer._txn_ctor()
+    ref = layer._txn_ref("k", 2)
+
+    def main():
+        with layer.transaction("writer", rf=2) as txn:
+            txn.write("k", "v0")
+            txn.write("j", "v0")
+        # The client reads and now holds a long-TTL cached snapshot.
+        assert layer.invoke("client", ref, "get", ctor=ctor) == "v0"
+        primary = layer.placement_of(ref)[0]
+        # Land the crash inside the commit protocol's window.
+        injector.schedule(
+            FaultPlan().add(kernel.now + 0.0005, "crash_node", primary))
+        with layer.transaction("writer", rf=2) as txn:
+            txn.write("k", "v1")
+            txn.write("j", "v1")
+        # Commit acknowledged: the cached "v0" must never serve again.
+        after_ack = layer.invoke("client", ref, "get", ctor=ctor)
+        sleep(DEFAULT_CONFIG.dso.failure_detection + 2.0)
+        settled = layer.invoke("client", ref, "get", ctor=ctor)
+        return after_ack, settled
+
+    after_ack, settled = kernel.run_main(main)
+    assert injector.log.counts("inject") == {"crash_node": 1}
+    assert after_ack == "v1"
+    assert settled == "v1"
+    assert layer.stats.leases_granted >= 1

@@ -261,6 +261,60 @@ def test_drop_endpoint_cache_forgets_working_set(kernel, network):
 
 
 # ---------------------------------------------------------------------------
+# Transactions: leases are fenced at commit
+# ---------------------------------------------------------------------------
+
+
+def test_txn_commit_revokes_lease_before_acknowledging(kernel, network):
+    """A reader's lease on a TxnCell is revoked before the writing
+    transaction's commit acknowledges — the txn write path honours
+    the same coherence contract as plain writes."""
+    layer = make_layer(kernel, network, nodes=1)
+    network.ensure_endpoint("writer")
+    ctor = layer._txn_ctor()
+    ref = layer._txn_ref("k", 1)
+
+    def main():
+        with layer.transaction("writer") as txn:
+            txn.write("k", "v0")
+        layer.invoke("client", ref, "get", ctor=ctor)  # miss + lease
+        hit = layer.invoke("client", ref, "get", ctor=ctor)
+        with layer.transaction("writer") as txn:
+            txn.write("k", "v1")
+        after = layer.invoke("client", ref, "get", ctor=ctor)
+        return hit, after
+
+    assert kernel.run_main(main) == ("v0", "v1")  # never the snapshot
+    assert layer.stats.cache_hits == 1
+    assert layer.stats.lease_revocations >= 1
+    # The post-commit read had to ship again.
+    assert layer.stats.cache_misses == 2
+
+
+def test_mid_txn_lease_on_written_key_is_fenced_at_commit(
+        kernel, network):
+    """The satellite case: a ``@readonly`` lease granted *mid-txn*
+    (the txn's own read of a key it then writes) is invalidated by
+    the commit, so no later cached read serves the pre-commit
+    snapshot."""
+    layer = make_layer(kernel, network, nodes=1)
+    ctor = layer._txn_ctor()
+    ref = layer._txn_ref("k", 1)
+
+    def main():
+        with layer.transaction("client") as txn:
+            txn.write("k", "v0")
+        with layer.transaction("client") as txn:
+            old = txn.read("k")  # __txn_read__ is @readonly: leased
+            txn.write("k", "v1")
+        cached = layer.invoke("client", ref, "get", ctor=ctor)
+        return old, cached
+
+    assert kernel.run_main(main) == ("v0", "v1")
+    assert layer.stats.lease_revocations >= 1
+
+
+# ---------------------------------------------------------------------------
 # FaaS wiring: cache lifetime == container lifetime
 # ---------------------------------------------------------------------------
 

@@ -119,6 +119,60 @@ def test_eviction_prefers_committed_over_colder_uncommitted():
     assert set(table.sessions()) == {"s-uncommitted", "s-new"}
 
 
+@settings(max_examples=40, deadline=None)
+@given(
+    pressure=st.integers(1, 40),
+    pinned_count=st.integers(1, 4),
+    resolve=st.booleans(),
+)
+def test_pinned_prepares_survive_any_lru_pressure(
+        pressure, pinned_count, resolve):
+    """A pinned entry (an unresolved transaction prepare) is never
+    evicted, however cold its session goes — and once unpinned it
+    becomes an ordinary candidate again."""
+    table = SessionTable(limit=3)
+    for i in range(pinned_count):
+        table.record(SessionStamp(sid=f"txn-{i}", seq=0),
+                     f"prepared-{i}", committed=False, pin=f"t{i}")
+    # Flood the table far past its cap with churn sessions; the
+    # pinned sessions are the coldest throughout.
+    for i in range(pressure):
+        table.record(SessionStamp(sid=f"churn-{i}", seq=0),
+                     f"r{i}", committed=bool(i % 2))
+    survivors = set(table.sessions())
+    for i in range(pinned_count):
+        assert f"txn-{i}" in survivors, \
+            f"pinned session txn-{i} evicted; survivors={survivors}"
+        entry = table.lookup(SessionStamp(sid=f"txn-{i}", seq=0))
+        assert entry is not None and entry.reply == f"prepared-{i}"
+    if resolve:
+        # Commit/abort resolution unpins; subsequent pressure may now
+        # reclaim the (cold, committed-free) prepare sessions.
+        for i in range(pinned_count):
+            assert table.unpin(f"t{i}") == 1
+        for i in range(pressure, pressure + 2 * pinned_count + 4):
+            table.record(SessionStamp(sid=f"churn-{i}", seq=0),
+                         f"r{i}", committed=True)
+        assert len(table.sessions()) <= table.limit + pinned_count
+        assert table.pinned_tokens() == set()
+
+
+def test_all_sessions_pinned_defers_eviction_to_unpin():
+    """When every session holds a pinned entry the table transiently
+    exceeds its cap rather than losing a dedup record; the first
+    unpin lets the next record() reclaim the slot."""
+    table = SessionTable(limit=2)
+    for i in range(4):
+        table.record(SessionStamp(sid=f"txn-{i}", seq=0), f"p{i}",
+                     committed=False, pin=f"t{i}")
+    assert len(table.sessions()) == 4  # over the cap, nothing lost
+    table.unpin("t0")
+    table.record(SessionStamp(sid="new", seq=0), "r", committed=False)
+    survivors = set(table.sessions())
+    assert "txn-0" not in survivors  # the lone unpinned session paid
+    assert {"txn-1", "txn-2", "txn-3", "new"} <= survivors
+
+
 def test_eviction_prefers_empty_sessions_over_all_committed():
     table = SessionTable(limit=2)
     # s-empty recorded then fully truncated by its own watermark.

@@ -1,0 +1,110 @@
+"""Unit tests for the cross-partition read-atomicity pass.
+
+The base linearizability checker is per-object and cannot see
+fractured reads; these tests drive the dedicated atomicity pass
+(:mod:`repro.linearizability.atomicity`) on hand-built histories —
+both clean ones and the canonical RAMP anomalies — before the chaos
+and fuzzer suites run it on recorded trials.
+"""
+
+from __future__ import annotations
+
+from repro.linearizability import (
+    TxnCommitRecord,
+    TxnReadRecord,
+    final_state_violations,
+    find_fractured_reads,
+)
+
+
+def commit(txn_id: str, cid: int, *writes: str) -> TxnCommitRecord:
+    return TxnCommitRecord(txn_id=txn_id, cid=cid,
+                           writes=tuple(sorted(writes)))
+
+
+def read(reader: str, **cids: int) -> TxnReadRecord:
+    return TxnReadRecord(reader=reader,
+                         reads=tuple(sorted(cids.items())))
+
+
+class TestFindFracturedReads:
+    def test_clean_history_passes(self):
+        commits = [commit("t1", 1, "a", "b"), commit("t2", 2, "a", "b")]
+        reads = [
+            read("r1", a=1, b=1),   # both from t1
+            read("r2", a=2, b=2),   # both from t2
+            read("r3", a=0, b=0),   # pre-history snapshot
+        ]
+        assert find_fractured_reads(commits, reads) == []
+
+    def test_fractured_sibling_is_flagged(self):
+        # t1 wrote both a and b at cid 1; the reader saw t1's a but
+        # the initial b — the textbook fractured read.
+        commits = [commit("t1", 1, "a", "b")]
+        reads = [read("r1", a=1, b=0)]
+        violations = find_fractured_reads(commits, reads)
+        assert len(violations) == 1
+        v = violations[0]
+        assert (v.reader, v.txn_id) == ("r1", "t1")
+        assert (v.key_seen, v.cid_seen) == ("a", 1)
+        assert (v.key_stale, v.cid_stale) == ("b", 0)
+        assert "fractured" in v.describe()
+
+    def test_newer_sibling_is_not_a_fracture(self):
+        # Seeing b from a LATER txn than a's writer is fine: read
+        # atomicity is a lower bound on siblings, not equality.
+        commits = [commit("t1", 1, "a", "b"), commit("t2", 2, "b")]
+        reads = [read("r1", a=1, b=2)]
+        assert find_fractured_reads(commits, reads) == []
+
+    def test_disjoint_transactions_never_fracture(self):
+        commits = [commit("t1", 1, "a"), commit("t2", 2, "b")]
+        reads = [read("r1", a=1, b=0), read("r2", a=0, b=2)]
+        assert find_fractured_reads(commits, reads) == []
+
+    def test_three_key_txn_flags_each_stale_sibling(self):
+        commits = [commit("t1", 1, "a", "b", "c")]
+        reads = [read("r1", a=1, b=0, c=0)]
+        violations = find_fractured_reads(commits, reads)
+        stale = {(v.key_seen, v.key_stale) for v in violations}
+        assert stale == {("a", "b"), ("a", "c")}
+
+    def test_initial_version_has_no_siblings(self):
+        # cid 0 has no logged writer, so observing it alongside
+        # anything is never itself a fracture source.
+        commits = [commit("t1", 1, "a")]
+        reads = [read("r1", a=0, b=0)]
+        assert find_fractured_reads(commits, reads) == []
+
+
+class TestFinalStateViolations:
+    def test_clean_final_state(self):
+        commits = [commit("t1", 1, "a", "b"), commit("t2", 2, "a")]
+        assert final_state_violations(commits, {"a": 2, "b": 1}) == []
+
+    def test_dropped_write_is_reported(self):
+        # t2's write to b was acked but never installed — exactly what
+        # the disabled commit fence produces after a mid-commit crash.
+        commits = [commit("t1", 1, "a", "b"), commit("t2", 2, "a", "b")]
+        findings = final_state_violations(commits, {"a": 2, "b": 1})
+        assert len(findings) == 1
+        assert "'b'" in findings[0]
+        assert "dropped" in findings[0]
+
+    def test_phantom_version_is_reported(self):
+        commits = [commit("t1", 1, "a")]
+        findings = final_state_violations(commits, {"a": 7})
+        assert len(findings) == 1
+        assert "phantom" in findings[0]
+
+    def test_missing_key_is_reported(self):
+        commits = [commit("t1", 1, "a")]
+        findings = final_state_violations(commits, {})
+        assert len(findings) == 1
+        assert "no committed state" in findings[0]
+
+    def test_unlogged_keys_are_ignored(self):
+        # Keys no logged transaction wrote carry no expectation.
+        commits = [commit("t1", 1, "a")]
+        assert final_state_violations(
+            commits, {"a": 1, "zz": 42}) == []

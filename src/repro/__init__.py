@@ -35,7 +35,10 @@ and the exporters in :mod:`repro.trace`) and the correctness tooling
 (``ExplorationRunner`` and the schedulers of :mod:`repro.explore`,
 ``LinearizabilityChecker``/``HistoryRecorder``) and the storage layer
 (the ``StorageBackend`` protocol, the priced tiers, ``TieredStore``
-and the ``CostLedger``/``cost_summary`` accounting) — is re-exported
+and the ``CostLedger``/``cost_summary`` accounting) and the serving
+stack (the open-loop ``OpenLoopGenerator``/``TenantSpec``/
+``RateProfile`` workloads, the shared ``ZipfSampler``, and the
+elastic ``Autoscaler``) — is re-exported
 here, and
 only names listed in ``__all__`` are covered by compatibility
 guarantees.  The ``repro.core.*``, ``repro.simulation.*``,
@@ -117,8 +120,19 @@ from repro.trace import (
     trace_enabled,
     write_chrome_trace,
 )
+from repro.workload import (
+    Autoscaler,
+    AutoscalerPolicy,
+    NodeRentMeter,
+    OpenLoopGenerator,
+    RateProfile,
+    ScaleEvent,
+    ServingMetrics,
+    TenantSpec,
+    ZipfSampler,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Config",
@@ -189,5 +203,14 @@ __all__ = [
     "critical_path_summary",
     "chrome_trace_json",
     "write_chrome_trace",
+    "ZipfSampler",
+    "RateProfile",
+    "TenantSpec",
+    "ServingMetrics",
+    "OpenLoopGenerator",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "NodeRentMeter",
+    "ScaleEvent",
     "__version__",
 ]

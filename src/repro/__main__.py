@@ -32,6 +32,7 @@ from repro.harness import (
     fig7c_santa,
     fig8_persistence,
     kernel_speed,
+    serving,
     table2_latency,
     table3_costs,
     table4_loc,
@@ -79,6 +80,9 @@ EXPERIMENTS = {
     "txn": (txn_atomicity,
             {"default": {"reps": 20, "clients": 4},
              "full": {"reps": 50, "clients": 8}}),
+    "serving": (serving,
+                {"default": {},
+                 "full": {"duration": 56.0, "peak_rate": 400.0}}),
 }
 
 

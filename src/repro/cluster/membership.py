@@ -67,7 +67,16 @@ class MembershipService:
         return self._install(tuple(self._members))
 
     def leave(self, name: str) -> View:
-        """Graceful departure; a new view is installed immediately."""
+        """Graceful departure; a new view is installed immediately.
+
+        Idempotent: leaving a name that is not (or no longer) a member
+        returns the current view unchanged.  A capacity controller can
+        race the failure detector — it decides to drain a node in the
+        same epoch the detector expels it — and the second removal
+        must be a no-op, not a crash of the control loop.
+        """
+        if name not in self._members:
+            return self.view
         self._members.remove(name)
         return self._install(tuple(self._members))
 

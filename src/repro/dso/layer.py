@@ -300,6 +300,19 @@ class DsoLayer:
     def live_nodes(self) -> list[DsoNode]:
         return [n for n in self.nodes.values() if n.alive]
 
+    def member_nodes(self) -> list[DsoNode]:
+        """Live nodes that are in the *current membership view*.
+
+        Differs from :meth:`live_nodes` after a graceful
+        :meth:`remove_node`: the departed node keeps running while the
+        rebalancer drains it, but it is no longer part of the serving
+        fleet — capacity controllers and rent meters count members,
+        not survivors.
+        """
+        view = self.membership.view
+        return [n for n in self.nodes.values()
+                if n.alive and n.name in view]
+
     # ------------------------------------------------------------------
     # Client sessions (exactly-once method shipping)
     # ------------------------------------------------------------------
@@ -975,6 +988,15 @@ on_container_reclaim` so cache lifetime equals container lifetime:
             try:
                 if node.containers.get(ref.ident) is not container:
                     raise _StaleContainer(f"{ref} moved off {primary_name}")
+                if (not placement.replicas
+                        or placement.replicas[0] != primary_name):
+                    # A rebalance re-homed the primary while this op
+                    # queued on the lock (possibly without evicting the
+                    # local copy, if only the replica *order* changed).
+                    # Fence rather than apply: an op applied here would
+                    # never reach the new primary.
+                    raise _StaleContainer(
+                        f"{ref} re-homed off {primary_name}")
                 entry = (container.sessions.lookup(stamp)
                          if stamp is not None else None)
                 if entry is not None:
@@ -1018,8 +1040,18 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                     else:
                         result = self._apply(container, method, args,
                                              kwargs, call)
+                    # Replicate to the *current* backup set whenever
+                    # one exists.  The old guard skipped replication
+                    # if the placement version moved past the client's
+                    # captured ``version`` — but a concurrent rebalance
+                    # bumps the version while writes queue on the lock,
+                    # and an acked write that silently stays
+                    # primary-only is lost with the primary.  The
+                    # primary fence above already rejects ops at a
+                    # node that is no longer ``replicas[0]``; from the
+                    # current primary, replicating under the current
+                    # replica list is always correct.
                     replicated = (len(placement.replicas) > 1
-                                  and placement.version == version
                                   and not fence_dropped
                                   and not is_unreplicated(
                                       type(container.instance), method))
@@ -1236,8 +1268,11 @@ on_container_reclaim` so cache lifetime equals container lifetime:
                 raise NodeCrashedError(
                     f"{node.name} crashed during {ref}.{method} dedup")
             if not entry.committed:
-                if (len(placement.replicas) > 1
-                        and placement.version == version):
+                # Same rule as the fresh-apply path: a surviving
+                # backup set must get the op no matter how many view
+                # changes raced the retry; only the version is stale,
+                # not this node's primaryship (fenced by the caller).
+                if len(placement.replicas) > 1:
                     call.release_worker()
                     self._replicate(placement, ref, method, args, kwargs,
                                     cost, stamp, entry.reply, smr_context)

@@ -411,6 +411,32 @@ class FaasPlatform:
                     return True
         return False
 
+    def reclaim_idle(self, function_name: str, keep: int = 0) -> int:
+        """Reclaim idle warm containers down to ``keep`` of them.
+
+        The scale-*in* counterpart of :meth:`pre_warm`: an elastic
+        controller that stops paying for warm capacity it no longer
+        needs.  Only idle containers are touched — in-flight
+        invocations always finish — and each reclaimed container fires
+        the same :meth:`on_container_reclaim` hooks as a keep-alive
+        expiry, so dependent state (leased read caches) is dropped
+        consistently.  Returns the number reclaimed.
+        """
+        function = self._function(function_name)
+        idle = [c for c in function.containers
+                if not c.in_use and not c.dead]
+        reclaimed = 0
+        # Newest first: the oldest warm containers keep their working
+        # sets (mirrors provider behaviour of trimming fresh capacity).
+        for container in reversed(idle):
+            if len(idle) - reclaimed <= keep:
+                break
+            container.dead = True
+            function.containers.remove(container)
+            self._reclaimed(container)
+            reclaimed += 1
+        return reclaimed
+
     def busy_containers(self, function_name: str) -> list[str]:
         """Names of containers currently executing an invocation."""
         function = self._function(function_name)

@@ -24,6 +24,7 @@ from repro.harness import (  # noqa: F401  (re-exported for discoverability)
     fig7c_santa,
     fig8_persistence,
     kernel_speed,
+    serving,
     table2_latency,
     table3_costs,
     table4_loc,
@@ -47,6 +48,7 @@ __all__ = [
     "fig7c_santa",
     "fig8_persistence",
     "kernel_speed",
+    "serving",
     "table4_loc",
     "tiering_pareto",
     "txn_atomicity",

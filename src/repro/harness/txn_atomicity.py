@@ -24,13 +24,13 @@ All quantities are virtual-time; wall time only bounds the harness.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.core.runtime import CrucialEnvironment
 from repro.errors import TxnError
 from repro.metrics.report import comparison_table
 from repro.simulation.thread import spawn
+from repro.workload.distributions import ZipfSampler
 
 #: Keys per measured transaction (the ISSUE's "txn of size 4").
 SIZE = 4
@@ -64,18 +64,6 @@ class TxnAtomicityResult:
     def abort_rate(self) -> float:
         return self.aborts / self.contended_txns \
             if self.contended_txns else 0.0
-
-
-def _zipf_index(rnd: random.Random, n: int, s: float = 1.2) -> int:
-    weights = [1.0 / (i + 1) ** s for i in range(n)]
-    total = sum(weights)
-    point = rnd.random() * total
-    acc = 0.0
-    for i, w in enumerate(weights):
-        acc += w
-        if point <= acc:
-            return i
-    return n - 1
 
 
 def run(reps: int = 20, clients: int = 4, rounds: int = 8,
@@ -127,10 +115,13 @@ def run(reps: int = 20, clients: int = 4, rounds: int = 8,
             attempted = [0]
 
             def contender(index):
-                rnd = random.Random(seed * 1000 + index)
+                # Shared O(1) alias-table sampler (the old inline draw
+                # rescanned the weight vector on every sample).
+                sampler = ZipfSampler(keyspace, s=1.2,
+                                      seed=seed * 1000 + index)
                 for _ in range(rounds):
-                    first = _zipf_index(rnd, keyspace)
-                    second = _zipf_index(rnd, keyspace)
+                    first = sampler.sample()
+                    second = sampler.sample()
                     if second == first:
                         second = (first + 1) % keyspace
                     keys = [f"hot-{first}", f"hot-{second}"]

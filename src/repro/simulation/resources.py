@@ -77,6 +77,17 @@ class Resource:
             return 0.0
         return self._busy_time / (self.capacity * elapsed)
 
+    def busy_seconds(self) -> float:
+        """Cumulative busy unit-seconds since creation.
+
+        Monotone, so a controller can difference two snapshots for a
+        *windowed* busy fraction — :meth:`utilization` only gives the
+        since-creation average, which goes stale as soon as load
+        changes (exactly when an autoscaler needs a fresh signal).
+        """
+        self._account()
+        return self._busy_time
+
 
 class ProcessorSharing:
     """An egalitarian processor-sharing CPU model.

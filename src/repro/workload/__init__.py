@@ -1,0 +1,41 @@
+"""Open-loop serving workloads and elastic capacity control.
+
+The million-user half of the reproduction (ROADMAP item 1): a traffic
+*generator* that offers load without closed-loop back-pressure
+(:mod:`repro.workload.generator`), the shared key-popularity
+distributions behind it (:mod:`repro.workload.distributions`), and
+the *autoscaler* that watches the live metrics and resizes the grid
+and the FaaS warm pool (:mod:`repro.workload.autoscaler`).  The
+generator/controller split follows Lithops' invoker/monitor shape;
+the reactive scaling story follows Cloudburst.
+"""
+
+from repro.workload.autoscaler import (
+    Autoscaler,
+    AutoscalerPolicy,
+    NodeRentMeter,
+    ScaleEvent,
+)
+from repro.workload.distributions import ZipfSampler
+from repro.workload.generator import (
+    OpenLoopGenerator,
+    RateProfile,
+    RequestRecord,
+    ServingMetrics,
+    TenantCounter,
+    TenantSpec,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "NodeRentMeter",
+    "OpenLoopGenerator",
+    "RateProfile",
+    "RequestRecord",
+    "ScaleEvent",
+    "ServingMetrics",
+    "TenantCounter",
+    "TenantSpec",
+    "ZipfSampler",
+]

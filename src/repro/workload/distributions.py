@@ -1,0 +1,86 @@
+"""Workload distributions: one correct, shared Zipf sampler.
+
+Two harnesses used to hand-roll their own Zipf draws, each wrong in
+its own way: ``tiering_pareto`` clamped numpy's *unbounded* zipf
+variate onto the last key (``min(int(rng.zipf(s)) - 1, n - 1)``),
+silently dumping the entire tail mass — easily tens of percent for
+s close to 1 — onto one arbitrary "cold" key; ``txn_atomicity``
+rebuilt the weight vector and linearly scanned it on every draw,
+O(n) per sample.  Both now share :class:`ZipfSampler`: an exact
+bounded Zipf over ``{0, ..., n-1}`` via Walker's alias method —
+O(n) to build, O(1) per draw, deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Bounded Zipf(s) over ranks ``{0, ..., n-1}``.
+
+    ``P(i) = (i + 1)^-s / H(n, s)`` with ``H(n, s)`` the generalised
+    harmonic number — rank 0 is the hottest key.  ``s = 0`` degrades
+    to uniform.  Draws come from Walker's alias table, so sampling
+    cost is independent of the keyspace size.
+
+    Pass either an existing numpy ``Generator`` (e.g. a kernel RNG
+    stream, keeping the draw deterministic per seed) or a plain
+    ``seed``.
+    """
+
+    def __init__(self, n: int, s: float = 1.2,
+                 rng: np.random.Generator | None = None,
+                 seed: int | None = None):
+        if n < 1:
+            raise ValueError(f"need at least one rank, got n={n}")
+        if s < 0:
+            raise ValueError(f"negative skew s={s}")
+        if rng is None:
+            rng = np.random.Generator(
+                np.random.PCG64(0 if seed is None else seed))
+        self.n = n
+        self.s = s
+        self.rng = rng
+        weights = np.arange(1, n + 1, dtype=float) ** -s
+        self._pmf = weights / weights.sum()
+        self._accept, self._alias = self._build_alias(self._pmf)
+
+    @staticmethod
+    def _build_alias(pmf: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vose's stable construction of the alias table."""
+        n = len(pmf)
+        accept = np.ones(n)
+        alias = np.arange(n, dtype=np.int64)
+        scaled = pmf * n
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            accept[lo] = scaled[lo]
+            alias[lo] = hi
+            scaled[hi] -= 1.0 - scaled[lo]
+            (small if scaled[hi] < 1.0 else large).append(hi)
+        # Leftovers are 1.0 up to float error; both lists self-alias.
+        return accept, alias
+
+    def pmf(self, rank: int | None = None):
+        """Analytic probability of ``rank`` (or the full vector)."""
+        if rank is None:
+            return self._pmf.copy()
+        return float(self._pmf[rank])
+
+    def sample(self) -> int:
+        """One rank in ``{0, ..., n-1}``, O(1)."""
+        column = int(self.rng.integers(self.n))
+        if self.rng.random() < self._accept[column]:
+            return column
+        return int(self._alias[column])
+
+    def sample_many(self, k: int) -> np.ndarray:
+        """``k`` i.i.d. ranks in one vectorised draw."""
+        columns = self.rng.integers(0, self.n, size=k)
+        uniforms = self.rng.random(k)
+        return np.where(uniforms < self._accept[columns],
+                        columns, self._alias[columns])

@@ -1,0 +1,86 @@
+"""Kill a grid node mid-scale-out under live open-loop traffic.
+
+The nastiest window elasticity opens: the autoscaler has just added a
+node, the rebalancer is migrating objects onto it under per-key write
+locks, in-flight requests are being fenced by placement-version bumps
+and retried — and a *different* node fail-stops.  With rf=2 counter
+cells every acknowledged increment has a surviving replica, sessions
+dedup the retries, and the audit must balance exactly: the sum of
+final counter values equals the generator's acknowledged-write count
+(``final == acked``), with zero client-visible errors.
+"""
+
+from repro import (
+    Autoscaler,
+    AutoscalerPolicy,
+    CrucialEnvironment,
+    OpenLoopGenerator,
+    RateProfile,
+    TenantSpec,
+)
+from repro.harness.serving import serving_config
+from repro.simulation.kernel import current_thread
+from repro.simulation.thread import spawn
+
+#: Crest past one node's capacity so the autoscaler must grow, then a
+#: long trough so retries and rebalances fully drain before the audit.
+PROFILE = RateProfile([(0.0, 30.0), (2.0, 30.0), (5.0, 260.0),
+                       (10.0, 260.0), (12.0, 20.0), (22.0, 20.0)])
+DURATION = 22.0
+
+#: Replicated tenants: every counter survives a single node loss.
+TENANTS = [
+    TenantSpec(name="web", share=0.85, keys=48, zipf_s=1.1,
+               read_fraction=0.8, rf=2, cost=0.008),
+    TenantSpec(name="api", share=0.15, keys=12, zipf_s=1.0,
+               read_fraction=0.5, rf=2, via="faas", cost=0.005),
+]
+
+
+def test_node_crash_mid_scale_out_preserves_acked_writes(chaos_seed):
+    policy = AutoscalerPolicy(epoch=1.0, slo_p99=0.100,
+                              min_nodes=2, max_nodes=4,
+                              cooldown_epochs=2, min_warm=1)
+    with CrucialEnvironment(seed=chaos_seed, dso_nodes=2,
+                            config=serving_config()) as env:
+        def main():
+            originals = [n.name for n in env.dso.member_nodes()]
+            generator = OpenLoopGenerator(env, TENANTS, PROFILE,
+                                          DURATION)
+            scaler = Autoscaler(env, generator.metrics,
+                                policy=policy).start()
+            crashed = []
+
+            def assassin():
+                # Strike inside the scale-out: the moment the first
+                # add-node view lands, fail-stop one of the original
+                # members while the rebalance toward the newcomer is
+                # still in flight.
+                thread = current_thread()
+                while not scaler.grid_events():
+                    thread.sleep(0.1)
+                victim = next(
+                    name for name in originals
+                    if name in env.dso.membership.view.members)
+                env.dso.crash_node(victim)
+                crashed.append(victim)
+
+            killer = spawn(assassin, name="assassin")
+            metrics = generator.run()
+            scaler.stop()
+            killer.join()
+            final = generator.final_counts()
+            return metrics, scaler, crashed, final
+
+        metrics, scaler, crashed, final = env.run(main)
+
+    assert crashed, "the scale-out the assassin waits for never came"
+    assert [e.action for e in scaler.grid_events()].count("add-node") >= 1
+    # Zero client-visible failures: the crash window is covered by
+    # session retries riding the expulsion view.
+    assert metrics.errors == 0, \
+        f"seed {chaos_seed}: {metrics.errors} client errors"
+    # The audit: every acknowledged increment is in a surviving
+    # replica, and none was applied twice.
+    assert sum(final.values()) == metrics.total_acked
+    assert final == metrics.acked_writes

@@ -79,7 +79,16 @@ def test_listener_receives_views_in_order(kernel, network):
     assert [v.members for v in received] == [("n1",), ("n1", "n2"), ("n2",)]
 
 
-def test_leave_unknown_member_rejected(kernel):
+def test_leave_unknown_member_is_idempotent(kernel, network):
+    """``leave`` of a non-member is a no-op returning the current
+    view: an autoscaler's scale-in decision can race the failure
+    detector expelling the same node, and the second departure must
+    not blow up the controller."""
     service = MembershipService(kernel)
-    with pytest.raises(ValueError):
-        service.leave("ghost")
+    service.join(make_node(kernel, network, "n1"))
+    before = service.view
+    assert service.leave("ghost") is before
+    assert service.view.view_id == before.view_id
+    service.leave("n1")
+    after = service.view
+    assert service.leave("n1") is after  # already gone: still a no-op

@@ -1,0 +1,75 @@
+"""Fuzz elasticity: randomized scale schedules under open-loop load.
+
+Each trial drives a short burst of open-loop, replicated (rf=2)
+counter traffic while a seed-derived schedule of ``add_node`` /
+``remove_node`` / ``crash_node`` events churns the grid underneath
+it.  Whatever interleaving the scheduler finds, the audit must
+balance: zero client-visible errors and the sum of final counter
+values exactly equal to the generator's acknowledged increments
+(``final == acked``) — the same invariant the serving chaos suite
+pins, here explored across random scale timings instead of one
+scripted assassination.
+"""
+
+import random
+
+from repro import (
+    ExplorationRunner,
+    OpenLoopGenerator,
+    RateProfile,
+    TenantSpec,
+)
+from repro.harness.serving import serving_config
+from repro.simulation.thread import sleep, spawn
+
+TRIALS = 3  # per seed: the smoke budget, not a soak
+DURATION = 8.0
+
+TENANT = TenantSpec(name="web", keys=24, zipf_s=1.1,
+                    read_fraction=0.7, rf=2, cost=0.004)
+
+
+def serving_workload(trial):
+    rnd = random.Random(trial.seed)
+    with trial.environment(dso_nodes=2,
+                           config=serving_config()) as env:
+        def churner():
+            # Two or three scale events at random times; crashes are
+            # allowed but never below two members (rf=2 must survive).
+            for _ in range(rnd.randint(2, 3)):
+                sleep(0.5 + rnd.random() * 2.5)
+                members = env.dso.member_nodes()
+                action = rnd.choice(["add", "remove", "crash"])
+                if action == "add" and len(members) < 4:
+                    env.dso.add_node()
+                elif action == "remove" and len(members) > 2:
+                    env.dso.remove_node(members[-1].name)
+                elif action == "crash" and len(members) > 2:
+                    env.dso.crash_node(
+                        rnd.choice(members[1:]).name)
+
+        def main():
+            generator = OpenLoopGenerator(
+                env, [TENANT], RateProfile.constant(40.0), DURATION)
+            churn = spawn(churner, name="churner")
+            metrics = generator.run()
+            churn.join()
+            # Let any trailing view change settle before the audit.
+            sleep(env.config.dso.failure_detection + 1.0)
+            final = generator.final_counts()
+            return metrics.errors, metrics.total_acked, \
+                sum(final.values())
+
+        return env.run(main)
+
+
+def test_serving_scale_churn(explore_seed):
+    report = ExplorationRunner(
+        serving_workload, trials=TRIALS, base_seed=explore_seed,
+        scheduler="random", scheduler_opts={"preempt_prob": 0.05},
+        invariants=[
+            lambda trial, value: value[0] == 0,          # no errors
+            lambda trial, value: value[1] == value[2],   # final == acked
+        ]).run()
+    assert report.ok, report.summary()
+    assert len(report.results) == TRIALS

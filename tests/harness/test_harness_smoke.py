@@ -14,6 +14,7 @@ from repro.harness import (
     fig7b_breakdown,
     fig7c_santa,
     fig8_persistence,
+    serving,
     table2_latency,
     table4_loc,
 )
@@ -117,3 +118,14 @@ def test_ablation_small():
     assert "Ablation" in report
     m = result.measurements
     assert m[("data-shipping", 8)][1] > m[("method-shipping", 8)][1]
+
+
+def test_serving_small():
+    result = serving.run(base_rate=15.0, peak_rate=90.0, duration=14.0)
+    report = serving.report(result)
+    assert "open-loop serving" in report
+    assert set(result.points) == set(serving.POINTS)
+    for point in result.points.values():
+        assert point.errors == 0
+        assert point.requests > 0
+        assert point.sustained_tput > 0

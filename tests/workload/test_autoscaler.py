@@ -1,0 +1,192 @@
+"""Autoscaler control loop: scale out/in, bounds, warm pool, rent."""
+
+import pytest
+
+from repro import (
+    Autoscaler,
+    AutoscalerPolicy,
+    CrucialEnvironment,
+    NodeRentMeter,
+    OpenLoopGenerator,
+    RateProfile,
+    ServingMetrics,
+    TenantSpec,
+)
+from repro.core.runtime import RUNNER_FUNCTION
+from repro.harness.serving import serving_config
+from repro.simulation.thread import sleep
+
+TENANT = TenantSpec(name="web", keys=48, zipf_s=1.1,
+                    read_fraction=0.9, cost=0.008)
+
+
+def scaled_run(seed, profile, duration, policy, nodes=1,
+               tenants=(TENANT,)):
+    """Run open-loop traffic with an autoscaler; return (metrics,
+    scaler, final member-node count)."""
+    with CrucialEnvironment(seed=seed, dso_nodes=nodes,
+                            config=serving_config()) as env:
+        def main():
+            generator = OpenLoopGenerator(env, list(tenants), profile,
+                                          duration)
+            scaler = Autoscaler(env, generator.metrics,
+                                policy=policy).start()
+            metrics = generator.run()
+            scaler.stop()
+            return metrics, scaler
+
+        metrics, scaler = env.run(main)
+        return metrics, scaler, len(env.dso.member_nodes())
+
+
+def test_scales_out_under_overload_then_back_in():
+    # 30/s trough -> 320/s crest against ~250/s-per-node capacity,
+    # then a long trough so the added capacity drains back out.
+    profile = RateProfile([(0.0, 30.0), (3.0, 30.0), (6.0, 320.0),
+                           (12.0, 320.0), (14.0, 30.0), (26.0, 30.0)])
+    policy = AutoscalerPolicy(epoch=1.0, slo_p99=0.100, min_nodes=1,
+                              max_nodes=4, cooldown_epochs=2)
+    metrics, scaler, nodes_end = scaled_run(7, profile, 26.0, policy)
+    actions = [e.action for e in scaler.grid_events()]
+    assert "add-node" in actions
+    assert "remove-node" in actions
+    assert metrics.errors == 0
+    assert nodes_end < max(e.nodes_after for e in scaler.grid_events())
+
+
+def test_respects_node_bounds_and_cooldown():
+    profile = RateProfile.constant(500.0)  # hopelessly overloaded
+    policy = AutoscalerPolicy(epoch=1.0, slo_p99=0.050, min_nodes=1,
+                              max_nodes=2, cooldown_epochs=2)
+    _, scaler, nodes_end = scaled_run(13, profile, 10.0, policy)
+    events = scaler.grid_events()
+    assert events, "overload must trigger at least one scale-out"
+    assert all(e.nodes_after <= 2 for e in events)
+    assert nodes_end <= 2
+    # Consecutive grid decisions are separated by the cooldown: an
+    # event at tick T holds ticks T+1..T+cooldown still.
+    for before, after in zip(events, events[1:]):
+        assert after.time - before.time >= \
+            (policy.cooldown_epochs + 1) * policy.epoch - 1e-9
+
+
+def test_never_scales_below_min_nodes():
+    profile = RateProfile.constant(2.0)  # nearly idle 3-node cluster
+    policy = AutoscalerPolicy(epoch=1.0, min_nodes=2, max_nodes=4,
+                              idle_epochs=2)
+    _, scaler, nodes_end = scaled_run(19, profile, 15.0, policy, nodes=3)
+    assert nodes_end == 2
+    assert all(e.nodes_after >= 2 for e in scaler.grid_events())
+
+
+def test_scale_events_record_membership_views():
+    profile = RateProfile([(0.0, 40.0), (2.0, 400.0), (8.0, 400.0)])
+    policy = AutoscalerPolicy(epoch=1.0, slo_p99=0.080, max_nodes=3)
+    _, scaler, _ = scaled_run(23, profile, 8.0, policy)
+    events = scaler.grid_events()
+    assert events
+    # Each grid event pins the membership view it installed — the
+    # fence in-flight requests retry against.
+    views = [e.view_id for e in events]
+    assert all(v is not None for v in views)
+    assert views == sorted(views)
+    assert len(set(views)) == len(views)
+
+
+def test_warm_pool_grows_with_faas_traffic_and_reclaims():
+    api = TenantSpec(name="api", via="faas", keys=8,
+                     read_fraction=0.5, cost=0.005)
+    policy = AutoscalerPolicy(epoch=1.0, min_warm=1, faas_service=0.05,
+                              warm_headroom=2.0)
+    with CrucialEnvironment(seed=29, dso_nodes=1,
+                            config=serving_config()) as env:
+        def main():
+            metrics = ServingMetrics()
+            scaler = Autoscaler(env, metrics, policy=policy)
+            scaler.start()  # pre-warms min_warm at t=0
+            warm0 = env.platform.warm_container_count(RUNNER_FUNCTION)
+            generator = OpenLoopGenerator(
+                env, [api], RateProfile.constant(60.0), 6.0,
+                metrics=metrics)
+            generator.run()
+            warm_peak = env.platform.warm_container_count(RUNNER_FUNCTION)
+            sleep(6.0)  # idle epochs: the pool shrinks back
+            scaler.stop()
+            warm_end = env.platform.warm_container_count(RUNNER_FUNCTION)
+            return scaler, warm0, warm_peak, warm_end
+
+        scaler, warm0, warm_peak, warm_end = env.run(main)
+    assert warm0 == policy.min_warm
+    # 60/s x 50ms x 2.0 headroom -> a ~6-container target.
+    assert warm_peak > policy.min_warm
+    assert warm_end == policy.min_warm
+    actions = [e.action for e in scaler.events]
+    assert "pre-warm" in actions
+    assert "reclaim" in actions
+
+
+def test_node_rent_meter_integrates_member_node_seconds():
+    with CrucialEnvironment(seed=3, dso_nodes=2) as env:
+        rent = NodeRentMeter(env, env.cost_ledger, rate_per_hour=3.6)
+
+        def main():
+            sleep(10.0)          # 2 nodes x 10s
+            env.dso.add_node()
+            sleep(5.0)           # 3 nodes x 5s
+            env.cost_ledger.settle()
+            return rent.node_seconds
+
+        node_seconds = env.run(main)
+        # add_node happens mid-interval without a settle, so the meter
+        # bills the whole 15s window at the *final* node count unless
+        # settled at the boundary — the autoscaler settles before every
+        # scale decision for exactly this reason.  Here we settled only
+        # at the end: 3 nodes x 15s.
+        assert node_seconds == pytest.approx(45.0)
+        assert env.cost_ledger.total_dollars == \
+            pytest.approx(45.0 * 3.6 / 3600.0)
+
+
+def test_node_rent_meter_exact_across_settles():
+    with CrucialEnvironment(seed=3, dso_nodes=2) as env:
+        rent = NodeRentMeter(env, env.cost_ledger, rate_per_hour=3.6)
+
+        def main():
+            sleep(10.0)
+            rent.settle()        # close the 2-node interval
+            env.dso.add_node()
+            sleep(5.0)
+            rent.settle()
+            return rent.node_seconds
+
+        assert env.run(main) == pytest.approx(2 * 10 + 3 * 5)
+
+
+def test_member_nodes_excludes_drained_members():
+    with CrucialEnvironment(seed=5, dso_nodes=3) as env:
+        def main():
+            victim = env.dso.member_nodes()[-1].name
+            env.dso.remove_node(victim)
+            sleep(2.0)  # drain
+            return victim
+
+        victim = env.run(main)
+        members = [n.name for n in env.dso.member_nodes()]
+        assert victim not in members
+        assert len(members) == 2
+        # The departed node is still *alive* (graceful leave), which
+        # is exactly why the autoscaler counts members, not live nodes.
+        assert len(env.dso.live_nodes()) == 3
+
+
+def test_reclaim_idle_keeps_requested_floor():
+    with CrucialEnvironment(seed=7, dso_nodes=1) as env:
+        def main():
+            env.pre_warm(4)
+            reclaimed = env.platform.reclaim_idle(RUNNER_FUNCTION, keep=1)
+            return reclaimed, env.platform.warm_container_count(
+                RUNNER_FUNCTION)
+
+        reclaimed, warm = env.run(main)
+        assert reclaimed == 3
+        assert warm == 1

@@ -1,0 +1,95 @@
+"""The shared Zipf sampler: exact bounded pmf, O(1) draws.
+
+Includes the regression the sampler exists for: the tail-clamping
+draw it replaced (``min(int(rng.zipf(s)) - 1, n - 1)``) dumped the
+unbounded distribution's entire tail mass onto the last key — the
+empirical frequency of the coldest rank must instead match its
+analytic probability.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ZipfSampler
+
+SAMPLES = 200_000
+
+
+@pytest.mark.parametrize("seed", [5, 11, 23])
+@pytest.mark.parametrize("n,s", [(64, 1.1), (200, 1.2), (16, 0.8)])
+def test_empirical_matches_analytic_pmf(seed, n, s):
+    sampler = ZipfSampler(n, s, seed=seed)
+    counts = np.bincount(sampler.sample_many(SAMPLES), minlength=n)
+    empirical = counts / SAMPLES
+    pmf = sampler.pmf()
+    # Hot ranks carry enough mass for a tight relative check.
+    for rank in range(min(10, n)):
+        assert empirical[rank] == pytest.approx(pmf[rank], rel=0.08)
+    # Everything else within a loose absolute band.
+    assert np.abs(empirical - pmf).max() < 0.01
+
+
+def test_cold_tail_not_clamped():
+    """Regression for the old ``min(int(rng.zipf(s)) - 1, n - 1)``
+    draw, which piled tens of percent of mass onto the last rank."""
+    n = 64
+    sampler = ZipfSampler(n, 1.2, seed=7)
+    draws = sampler.sample_many(SAMPLES)
+    last = float(np.mean(draws == n - 1))
+    pmf_last = sampler.pmf(n - 1)
+    assert last < 3 * pmf_last + 1e-3  # the clamped draw gave ~100x
+    # And the old buggy recipe really does concentrate on the tail,
+    # so this test would fail against it.
+    rng = np.random.Generator(np.random.PCG64(7))
+    clamped = np.minimum(rng.zipf(1.2, size=SAMPLES) - 1, n - 1)
+    assert float(np.mean(clamped == n - 1)) > 10 * pmf_last
+
+
+def test_deterministic_for_fixed_seed():
+    a = ZipfSampler(50, 1.1, seed=42)
+    b = ZipfSampler(50, 1.1, seed=42)
+    assert [a.sample() for _ in range(100)] == \
+        [b.sample() for _ in range(100)]
+    assert list(a.sample_many(64)) == list(b.sample_many(64))
+
+
+def test_accepts_external_generator():
+    rng = np.random.Generator(np.random.PCG64(9))
+    sampler = ZipfSampler(10, 1.0, rng=rng)
+    assert sampler.rng is rng
+
+
+def test_single_rank():
+    sampler = ZipfSampler(1, 1.2, seed=1)
+    assert sampler.sample() == 0
+    assert sampler.pmf(0) == 1.0
+
+
+def test_zero_skew_is_uniform():
+    sampler = ZipfSampler(8, 0.0, seed=3)
+    assert np.allclose(sampler.pmf(), 1 / 8)
+    counts = np.bincount(sampler.sample_many(SAMPLES), minlength=8)
+    assert counts.min() / SAMPLES > 0.10  # uniform: each ~0.125
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(4, s=-0.1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=1, max_value=128),
+       s=st.floats(min_value=0.0, max_value=2.5),
+       seed=st.integers(min_value=0, max_value=2**31))
+def test_sampler_invariants(n, s, seed):
+    sampler = ZipfSampler(n, s, seed=seed)
+    pmf = sampler.pmf()
+    assert pmf.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(pmf) <= 1e-12)  # monotone: rank 0 hottest
+    draws = sampler.sample_many(256)
+    assert draws.min() >= 0 and draws.max() < n
+    assert 0 <= sampler.sample() < n

@@ -1,0 +1,177 @@
+"""Open-loop generator: arrivals, tenancy, determinism, auditing."""
+
+import pytest
+
+from repro import (
+    CrucialEnvironment,
+    OpenLoopGenerator,
+    RateProfile,
+    ServingMetrics,
+    TenantSpec,
+)
+from repro.workload.generator import RequestRecord
+
+
+# -- RateProfile --------------------------------------------------------------
+
+
+def test_rate_profile_interpolates_and_clamps():
+    profile = RateProfile([(0.0, 10.0), (4.0, 10.0), (8.0, 50.0)])
+    assert profile.at(-1.0) == 10.0
+    assert profile.at(2.0) == 10.0
+    assert profile.at(6.0) == pytest.approx(30.0)
+    assert profile.at(100.0) == 50.0
+    assert profile.peak == 50.0
+    assert RateProfile.constant(7.0).at(3.0) == 7.0
+
+
+def test_rate_profile_diurnal_shape():
+    profile = RateProfile.diurnal(base=10, peak=100, warmup=2,
+                                  ramp=4, plateau=6)
+    assert profile.at(0.0) == 10
+    assert profile.at(2.0) == 10
+    assert profile.at(4.0) == pytest.approx(55.0)  # mid-ramp
+    assert profile.at(8.0) == 100
+    assert profile.at(16.0) == 10
+
+
+def test_rate_profile_validation():
+    with pytest.raises(ValueError):
+        RateProfile([])
+    with pytest.raises(ValueError):
+        RateProfile([(0.0, -1.0)])
+    with pytest.raises(ValueError):
+        RateProfile([(2.0, 1.0), (1.0, 1.0)])
+
+
+# -- the generator ------------------------------------------------------------
+
+
+def run_workload(seed, tenants, profile, duration, audit=False):
+    with CrucialEnvironment(seed=seed, dso_nodes=1) as env:
+        def main():
+            generator = OpenLoopGenerator(env, tenants, profile, duration)
+            metrics = generator.run()
+            final = generator.final_counts() if audit else {}
+            return metrics, final
+
+        return env.run(main)
+
+
+def test_arrival_rate_tracks_constant_profile():
+    metrics, _ = run_workload(3, [TenantSpec(name="t")],
+                              RateProfile.constant(80.0), 10.0)
+    arrivals = len(metrics.arrivals.events)
+    # Poisson(800): +-4 sigma is ~113.
+    assert 650 < arrivals < 950
+    assert len(metrics.records) == arrivals
+    assert metrics.errors == 0
+
+
+def test_thinning_tracks_time_varying_profile():
+    profile = RateProfile([(0.0, 20.0), (5.0, 20.0), (5.0, 120.0),
+                           (10.0, 120.0)])
+    metrics, _ = run_workload(5, [TenantSpec(name="t")], profile, 10.0)
+    quiet = metrics.arrivals.count_between(0.0, 5.0)
+    busy = metrics.arrivals.count_between(5.0, 10.0)
+    # 100 vs 600 expected; the ratio is the signal.
+    assert busy > 3 * quiet
+
+
+def test_tenant_shares_respected():
+    tenants = [TenantSpec(name="big", share=0.75),
+               TenantSpec(name="small", share=0.25)]
+    metrics, _ = run_workload(11, tenants, RateProfile.constant(60.0),
+                              10.0)
+    counts = {"big": 0, "small": 0}
+    for record in metrics.records:
+        counts[record.tenant] += 1
+    total = sum(counts.values())
+    assert counts["big"] / total == pytest.approx(0.75, abs=0.06)
+
+
+def test_deterministic_for_fixed_seed():
+    tenants = [TenantSpec(name="t", read_fraction=0.5)]
+    runs = [run_workload(17, tenants, RateProfile.constant(40.0), 5.0)
+            for _ in range(2)]
+    histories = [
+        [(r.tenant, r.key, r.kind, r.arrived, r.finished)
+         for r in metrics.records]
+        for metrics, _ in runs
+    ]
+    assert histories[0] == histories[1]
+
+
+def test_open_loop_arrivals_ignore_server_speed():
+    """The defining property: a slow grid does not throttle offered
+    load.  The same seed produces the *identical* arrival process
+    whether operations are free or expensive — only latency absorbs
+    the overload."""
+    profile = RateProfile.constant(30.0)
+    fast, _ = run_workload(
+        23, [TenantSpec(name="t", cost=0.0)], profile, 6.0)
+    slow, _ = run_workload(
+        23, [TenantSpec(name="t", cost=0.5)], profile, 6.0)
+    assert slow.arrivals.events == fast.arrivals.events
+    assert len(slow.records) == len(fast.records)
+    # With ~30/s offered against ~16/s of service capacity the queue
+    # grows without bound; tails explode instead of arrivals pausing.
+    assert slow.tail(99.0) > 10 * max(fast.tail(99.0), 0.001)
+
+
+def test_acked_writes_match_final_counts():
+    tenants = [TenantSpec(name="w", keys=8, read_fraction=0.2)]
+    metrics, final = run_workload(29, tenants,
+                                  RateProfile.constant(50.0), 6.0,
+                                  audit=True)
+    assert metrics.errors == 0
+    assert metrics.total_acked > 0
+    assert sum(final.values()) == metrics.total_acked
+    assert final == metrics.acked_writes
+
+
+def test_faas_entry_path():
+    tenants = [TenantSpec(name="api", via="faas", read_fraction=0.5,
+                          keys=4)]
+    with CrucialEnvironment(seed=31, dso_nodes=1) as env:
+        def main():
+            generator = OpenLoopGenerator(
+                env, tenants, RateProfile.constant(10.0), 5.0)
+            metrics = generator.run()
+            return metrics, generator.final_counts()
+
+        metrics, final = env.run(main)
+        assert len(metrics.faas_arrivals.events) == len(metrics.records)
+        assert metrics.errors == 0
+        assert sum(final.values()) == metrics.total_acked
+        assert env.platform.invocation_count() > 0
+
+
+def test_generator_validation():
+    with CrucialEnvironment(seed=1, dso_nodes=1) as env:
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(env, [], RateProfile.constant(1.0), 1.0)
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(env, [TenantSpec(name="t")],
+                              RateProfile.constant(0.0), 1.0)
+
+
+# -- ServingMetrics -----------------------------------------------------------
+
+
+def _record(finished, latency):
+    return RequestRecord(tenant="t", key="k", kind="read",
+                         arrived=finished - latency, finished=finished,
+                         ok=True)
+
+
+def test_window_latencies_selects_by_completion_time():
+    metrics = ServingMetrics()
+    metrics.records.extend(
+        [_record(1.0, 0.1), _record(2.5, 0.2), _record(3.5, 0.4)])
+    assert metrics.window_latencies(2.0, 3.0) == pytest.approx([0.2])
+    assert sorted(metrics.window_latencies(0.0, 10.0)) == \
+        pytest.approx([0.1, 0.2, 0.4])
+    assert metrics.window_latencies(4.0, 5.0) == []
+    assert metrics.tail(50.0) == pytest.approx(0.2)
+    assert ServingMetrics().tail(99.0) == 0.0

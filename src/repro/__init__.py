@@ -38,7 +38,9 @@ and the exporters in :mod:`repro.trace`) and the correctness tooling
 and the ``CostLedger``/``cost_summary`` accounting) and the serving
 stack (the open-loop ``OpenLoopGenerator``/``TenantSpec``/
 ``RateProfile`` workloads, the shared ``ZipfSampler``, and the
-elastic ``Autoscaler``) — is re-exported
+elastic ``Autoscaler``) and the coordination service (the
+ZooKeeper-like ``KeeperService`` with its sessions, recipes and the
+znode/watch-order checkers) — is re-exported
 here, and
 only names listed in ``__all__`` are covered by compatibility
 guarantees.  The ``repro.core.*``, ``repro.simulation.*``,
@@ -48,6 +50,15 @@ from the implementation packages.
 """
 
 from repro.config import Config, DEFAULT_CONFIG
+from repro.coordination import (
+    ConfigWatcher,
+    KeeperBarrier,
+    KeeperSemaphore,
+    KeeperService,
+    KeeperSession,
+    LeaderElector,
+    WatchEvent,
+)
 from repro.core import (
     AtomicBoolean,
     AtomicByteArray,
@@ -76,6 +87,12 @@ from repro.dso.cache import readonly
 from repro.dso.pipeline import DsoFuture
 from repro.dso.txn import Txn, TxnCell, unreplicated
 from repro.errors import (
+    BadVersionError,
+    KeeperError,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    SessionExpiredError,
     TxnAbortedError,
     TxnError,
     TxnFracturedReadError,
@@ -96,8 +113,12 @@ from repro.linearizability import (
     Operation,
     TxnCommitRecord,
     TxnReadRecord,
+    WatchViolation,
+    ZnodeModel,
     final_state_violations,
     find_fractured_reads,
+    find_watch_violations,
+    watch_order_invariant,
 )
 from repro.metrics import BackendBill, CostLedger, cost_summary
 from repro.storage import (
@@ -132,7 +153,7 @@ from repro.workload import (
     ZipfSampler,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Config",
@@ -184,6 +205,23 @@ __all__ = [
     "TxnReadRecord",
     "find_fractured_reads",
     "final_state_violations",
+    "KeeperService",
+    "KeeperSession",
+    "WatchEvent",
+    "KeeperBarrier",
+    "KeeperSemaphore",
+    "LeaderElector",
+    "ConfigWatcher",
+    "KeeperError",
+    "NoNodeError",
+    "NodeExistsError",
+    "BadVersionError",
+    "NotEmptyError",
+    "SessionExpiredError",
+    "ZnodeModel",
+    "WatchViolation",
+    "find_watch_violations",
+    "watch_order_invariant",
     "StorageBackend",
     "BackendProfile",
     "ObjectStore",

@@ -31,6 +31,7 @@ from repro.harness import (
     fig7b_breakdown,
     fig7c_santa,
     fig8_persistence,
+    keeper,
     kernel_speed,
     serving,
     table2_latency,
@@ -83,6 +84,10 @@ EXPERIMENTS = {
     "serving": (serving,
                 {"default": {},
                  "full": {"duration": 56.0, "peak_rate": 400.0}}),
+    "keeper": (keeper,
+               {"default": {},
+                "full": {"watchers": 300, "failovers": 3,
+                         "updates": 4}}),
 }
 
 

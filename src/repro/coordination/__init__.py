@@ -1,6 +1,29 @@
-"""Fine-grained coordination workloads (Section 6.3)."""
+"""Fine-grained coordination workloads (Section 6.3) and the
+ZooKeeper-like coordination service (ROADMAP item 3)."""
 
 from repro.coordination.mapsync import MapSyncExperiment, STRATEGIES
 from repro.coordination.santa import SantaClausProblem
+from repro.coordination.keeper import (
+    KeeperService,
+    KeeperSession,
+    WatchEvent,
+)
+from repro.coordination.recipes import (
+    ConfigWatcher,
+    KeeperBarrier,
+    KeeperSemaphore,
+    LeaderElector,
+)
 
-__all__ = ["MapSyncExperiment", "STRATEGIES", "SantaClausProblem"]
+__all__ = [
+    "MapSyncExperiment",
+    "STRATEGIES",
+    "SantaClausProblem",
+    "KeeperService",
+    "KeeperSession",
+    "WatchEvent",
+    "KeeperBarrier",
+    "KeeperSemaphore",
+    "LeaderElector",
+    "ConfigWatcher",
+]

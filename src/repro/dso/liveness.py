@@ -1,0 +1,86 @@
+"""Lease heartbeats: client-side liveness plumbing for leased state.
+
+A *lease* is server-side state that stays valid only while its holder
+keeps renewing it — the keeper's sessions (ephemeral znodes die with
+the lease) are the flagship user, but the shape is generic: any
+client that must prove liveness to a remote object runs a
+:class:`HeartbeatPump`.
+
+The pump is deliberately dumb.  It calls ``beat()`` every ``period``
+seconds from a daemon simulation thread and stops itself the first
+time the beat raises — a lapsed lease must *stay* lapsed, because the
+server may already have given the holder's state away (exactly the
+ZooKeeper session rule).  Chaos tests call :meth:`kill` to model a
+holder that fail-stops between beats: no further renewals, no
+goodbye, the lease simply runs out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simulation.thread import SimThread, spawn
+
+
+def lease_beat_period(ttl: float) -> float:
+    """The renewal cadence for a lease of ``ttl`` seconds.
+
+    A third of the TTL survives two lost/late beats before the lease
+    lapses — the standard safety margin (ZooKeeper pings at a third
+    of the session timeout).
+    """
+    return ttl / 3.0
+
+
+class HeartbeatPump:
+    """Renews a lease until stopped, killed, or the lease rejects it.
+
+    ``beat`` is called every ``period`` seconds; its first exception
+    (typically ``SessionExpiredError`` from the server) permanently
+    stops the pump and is kept in :attr:`failure` for inspection.
+    """
+
+    def __init__(self, period: float, beat: Callable[[], Any], *,
+                 name: str = "heartbeat"):
+        if period <= 0:
+            raise ValueError("heartbeat period must be positive")
+        self.period = period
+        self._beat = beat
+        self._alive = True
+        #: The exception that stopped the pump, if any.
+        self.failure: BaseException | None = None
+        #: Successful renewals so far.
+        self.beats = 0
+        self._thread: SimThread = spawn(self._loop, name=name, daemon=True)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the pump is still renewing."""
+        return self._alive
+
+    def stop(self) -> None:
+        """Graceful stop: no further beats (the holder says goodbye
+        elsewhere, e.g. by closing its session)."""
+        self._alive = False
+
+    def kill(self) -> None:
+        """Chaos stop: the holder fail-stops between beats.  The lease
+        is left to run out on the server."""
+        self._alive = False
+
+    # -- the pump ----------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while self._alive:
+            self._thread.sleep(self.period)
+            if not self._alive:
+                return
+            try:
+                self._beat()
+            except BaseException as exc:  # noqa: BLE001 — lease verdicts vary
+                self.failure = exc
+                self._alive = False
+                return
+            self.beats += 1

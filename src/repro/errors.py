@@ -200,3 +200,33 @@ class BrokenBarrierError(ReproError):
 
 class FutureCancelledError(ReproError):
     """The future's value was awaited after cancellation."""
+
+
+# ---------------------------------------------------------------------------
+# Coordination service (repro.coordination.keeper)
+# ---------------------------------------------------------------------------
+
+
+class KeeperError(ReproError):
+    """Base class for znode-tree failures of the coordination service."""
+
+
+class NoNodeError(KeeperError):
+    """The znode (or its parent) does not exist."""
+
+
+class NodeExistsError(KeeperError):
+    """A znode already exists at the requested path."""
+
+
+class BadVersionError(KeeperError):
+    """The expected-version guard on a write did not match."""
+
+
+class NotEmptyError(KeeperError):
+    """A znode with children cannot be deleted."""
+
+
+class SessionExpiredError(KeeperError):
+    """The keeper session backing this call is gone (lease lapsed or
+    the session was closed); its ephemeral nodes have been removed."""

@@ -23,6 +23,7 @@ from repro.harness import (  # noqa: F401  (re-exported for discoverability)
     fig7b_breakdown,
     fig7c_santa,
     fig8_persistence,
+    keeper,
     kernel_speed,
     serving,
     table2_latency,
@@ -47,6 +48,7 @@ __all__ = [
     "fig7b_breakdown",
     "fig7c_santa",
     "fig8_persistence",
+    "keeper",
     "kernel_speed",
     "serving",
     "table4_loc",

@@ -16,7 +16,15 @@ from repro.linearizability.atomicity import (
     final_state_violations,
     find_fractured_reads,
 )
+from repro.linearizability.znode import ZnodeModel
+from repro.linearizability.watches import (
+    WatchViolation,
+    find_watch_violations,
+    watch_order_invariant,
+)
 
 __all__ = ["HistoryRecorder", "Operation", "LinearizabilityChecker",
            "AtomicityViolation", "TxnCommitRecord", "TxnReadRecord",
-           "find_fractured_reads", "final_state_violations"]
+           "find_fractured_reads", "final_state_violations",
+           "ZnodeModel", "WatchViolation", "find_watch_violations",
+           "watch_order_invariant"]

@@ -1,0 +1,103 @@
+"""Watch-ordering invariants for the keeper's notification path.
+
+ZooKeeper's watch contract, restated for the audit:
+
+* **order** — a session observes watch events in the global order of
+  the writes that fired them.  The tree assigns per-session delivery
+  sequence numbers under its object lock (sequence order == zxid
+  order), so the delivered stream must be strictly increasing in
+  ``seq`` *and* non-decreasing in ``zxid`` (two watches fired by one
+  write share its zxid).
+* **exactly-once** — a one-shot watch set before a write yields one
+  event: no sequence number is delivered twice.
+* **no loss** — after quiescence, every event the tree assigned was
+  released to the application: the delivered count per session
+  matches the tree's ``assigned_counts()``.
+
+:func:`find_watch_violations` checks all three over the per-session
+delivered logs; :func:`watch_order_invariant` adapts it to the
+:class:`~repro.explore.runner.ExplorationRunner` invariant signature
+for workloads that return ``(assigned, delivered)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # the keeper imports this package: no runtime cycle
+    from repro.coordination.keeper import WatchEvent
+
+
+@dataclass(frozen=True)
+class WatchViolation:
+    """One broken delivery guarantee at one session."""
+
+    session: str
+    kind: str  # "order" | "duplicate" | "lost"
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] session {self.session}: {self.detail}"
+
+
+def find_watch_violations(
+        delivered: Mapping[str, Iterable[WatchEvent]],
+        assigned: Mapping[str, int] | None = None) -> list[WatchViolation]:
+    """Audit per-session delivered watch streams.
+
+    ``delivered`` maps session id to the events in the order the
+    application observed them; ``assigned`` (optional — only
+    meaningful after quiescence) maps session id to the total events
+    the tree ever assigned it.
+    """
+    violations: list[WatchViolation] = []
+    for sid, events in sorted(delivered.items()):
+        stream = list(events)
+        seen: set[int] = set()
+        last_seq, last_zxid = 0, 0
+        for position, event in enumerate(stream):
+            if event.seq in seen:
+                violations.append(WatchViolation(
+                    sid, "duplicate",
+                    f"seq {event.seq} delivered twice "
+                    f"({event.kind} {event.path})"))
+            seen.add(event.seq)
+            if event.seq <= last_seq:
+                violations.append(WatchViolation(
+                    sid, "order",
+                    f"seq {event.seq} after seq {last_seq} "
+                    f"at position {position}"))
+            if event.zxid < last_zxid:
+                violations.append(WatchViolation(
+                    sid, "order",
+                    f"zxid went backwards {last_zxid} -> {event.zxid} "
+                    f"({event.kind} {event.path} at position "
+                    f"{position})"))
+            last_seq = max(last_seq, event.seq)
+            last_zxid = max(last_zxid, event.zxid)
+        if assigned is not None:
+            expected = assigned.get(sid, 0)
+            unique = len({event.seq for event in stream})
+            if unique < expected:
+                violations.append(WatchViolation(
+                    sid, "lost",
+                    f"{unique} of {expected} assigned events "
+                    "delivered"))
+    if assigned is not None:
+        for sid, expected in sorted(assigned.items()):
+            if expected and sid not in delivered:
+                violations.append(WatchViolation(
+                    sid, "lost",
+                    f"0 of {expected} assigned events delivered"))
+    return violations
+
+
+def watch_order_invariant(trial: Any, value: Any) -> bool:
+    """`ExplorationRunner` invariant for workloads returning
+    ``(delivered, assigned)`` (the second element may be ``None``
+    when the run does not quiesce)."""
+    delivered, assigned = value
+    violations = find_watch_violations(delivered, assigned)
+    assert not violations, "; ".join(v.describe() for v in violations)
+    return True

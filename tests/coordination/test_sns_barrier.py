@@ -1,0 +1,192 @@
+"""Unit + chaos tests for the SNS+SQS barrier (the Fig. 7a baseline).
+
+The barrier had no dedicated coverage: these pin the rendezvous
+contract (nobody passes before the last arrival), cyclic reuse,
+straggler handling, and — under chaos — a participant's container
+killed mid-wait, where the at-least-once retry semantics of FaaS
+(Section 4.4) require an at-least-once *release* from the
+coordinator for the rendezvous to converge.
+"""
+
+import pytest
+
+from repro import CloudThread, CrucialEnvironment, RetryPolicy
+from repro.core.runtime import (
+    RUNNER_FUNCTION,
+    compute,
+    current_environment,
+)
+from repro.coordination.sns_barrier import SnsSqsBarrier
+from repro.simulation.thread import sleep, spawn
+
+
+@pytest.fixture
+def env():
+    with CrucialEnvironment(seed=29, dso_nodes=1) as environment:
+        yield environment
+
+
+class _Party:
+    """Cloud-thread body for the chaos test: a short compute, then
+    one barrier round.  Re-runnable: a retried attempt re-announces
+    and waits for a (re-published) release."""
+
+    def __init__(self, barrier: SnsSqsBarrier, thread_id: int):
+        self.barrier = barrier
+        self.thread_id = thread_id
+
+    def run(self) -> float:
+        compute(0.5)
+        self.barrier.wait(self.thread_id, 0)
+        return current_environment().now
+
+
+def test_rendezvous_holds_until_last_arrival(env):
+    parties = 4
+
+    def main():
+        barrier = SnsSqsBarrier("rdv", parties)
+        barrier.setup()
+        entered, left = {}, {}
+
+        def member(i):
+            sleep(0.2 * i)  # staggered arrivals
+            entered[i] = env.now
+            barrier.wait(i, 0)
+            left[i] = env.now
+
+        coordinator = spawn(barrier.coordinate, 1, name="coordinator")
+        threads = [spawn(member, i, name=f"m{i}")
+                   for i in range(parties)]
+        for thread in threads:
+            thread.join()
+        coordinator.join()
+        return entered, left
+
+    entered, left = env.run(main)
+    assert len(left) == parties
+    # Nobody is released before the last party announced itself.
+    assert min(left.values()) >= max(entered.values())
+
+
+def test_straggler_delays_everyone(env):
+    parties, straggle = 3, 5.0
+
+    def main():
+        barrier = SnsSqsBarrier("strag", parties)
+        barrier.setup()
+        left = {}
+
+        def member(i):
+            if i == parties - 1:
+                sleep(straggle)
+            barrier.wait(i, 0)
+            left[i] = env.now
+
+        coordinator = spawn(barrier.coordinate, 1, name="coordinator")
+        threads = [spawn(member, i, name=f"m{i}")
+                   for i in range(parties)]
+        for thread in threads:
+            thread.join()
+        coordinator.join()
+        return left
+
+    left = env.run(main)
+    # The prompt parties were all held until the straggler arrived.
+    assert min(left.values()) >= straggle
+
+
+def test_cyclic_reuse_across_rounds(env):
+    parties, rounds = 3, 2
+
+    def main():
+        barrier = SnsSqsBarrier("cyc", parties)
+        barrier.setup()
+        passes = []
+
+        def member(i):
+            for round_number in range(rounds):
+                barrier.wait(i, round_number)
+                passes.append((round_number, env.now))
+
+        coordinator = spawn(barrier.coordinate, rounds,
+                            name="coordinator")
+        threads = [spawn(member, i, name=f"m{i}")
+                   for i in range(parties)]
+        for thread in threads:
+            thread.join()
+        coordinator.join()
+        return passes
+
+    passes = env.run(main)
+    assert len(passes) == parties * rounds
+    # Round 1 exits strictly follow every round 0 exit.
+    round0 = max(t for r, t in passes if r == 0)
+    round1 = min(t for r, t in passes if r == 1)
+    assert round1 >= round0
+
+
+def test_participant_killed_mid_wait_converges_with_retry(env):
+    """Chaos: one party's container is killed mid-round.  The platform
+    only surfaces the kill when the invocation settles, so the failed
+    attempt already consumed its release — the retried attempt needs
+    the coordinator to re-publish (at-least-once release), the
+    standard mitigation for at-least-once function execution."""
+    parties = 4
+
+    def main():
+        barrier = SnsSqsBarrier("chaos", parties)
+        barrier.setup()
+        env.pre_warm(parties)
+        done = []
+        killed = []
+
+        def coordinator():
+            # Count the first full round of arrivals, then re-publish
+            # the release until every cloud thread has checked in
+            # (duplicate releases are idempotent for wait()).
+            seen = 0
+            while seen < parties:
+                batch = env.queue_service.receive(
+                    barrier.arrival_queue, max_messages=10, wait=30.0)
+                if batch:
+                    env.queue_service.delete_batch(
+                        barrier.arrival_queue,
+                        [message.receipt for message in batch])
+                seen += len(batch)
+            while not done:
+                env.notification.publish(barrier.topic, 0)
+                sleep(0.5)
+
+        def assassin():
+            while not env.platform.busy_containers(RUNNER_FUNCTION):
+                sleep(0.05)
+            victim = env.platform.busy_containers(RUNNER_FUNCTION)[0]
+            assert env.platform.kill_container(victim)
+            killed.append(victim)
+
+        coord = spawn(coordinator, name="coordinator")
+        killer = spawn(assassin, name="assassin")
+        workers = [
+            CloudThread(_Party(barrier, i),
+                        retry_policy=RetryPolicy(max_retries=2,
+                                                 backoff=0.1))
+            for i in range(parties)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        done.append(True)
+        killer.join()
+        coord.join()
+        return killed, [w.attempts for w in workers], \
+            [w.result() for w in workers]
+
+    killed, attempts, results = env.run(main)
+    # The kill landed, every party still made it through the barrier,
+    # and exactly the killed party needed a second attempt.
+    assert len(killed) == 1
+    assert len(results) == parties
+    assert sum(attempts) == parties + 1
+    assert max(attempts) == 2
